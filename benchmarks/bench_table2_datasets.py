@@ -1,0 +1,38 @@
+"""Table 2: dataset statistics.
+
+Regenerates the dataset statistics table (entities, relations, classes and
+gold matches per dataset) for the scaled-down synthetic benchmark suite.
+"""
+
+from conftest import BENCH_DATASETS, bench_pair, print_table
+
+
+def _collect_rows() -> list[list]:
+    rows = []
+    for name in BENCH_DATASETS:
+        pair = bench_pair(name)
+        summary = pair.summary()
+        rows.append(
+            [
+                name,
+                f"{summary['entities_kg1']} vs. {summary['entities_kg2']}",
+                f"{summary['relations_kg1']} vs. {summary['relations_kg2']}",
+                f"{summary['classes_kg1']} vs. {summary['classes_kg2']}",
+                summary["entity_matches"],
+                summary["relation_matches"],
+                summary["class_matches"],
+            ]
+        )
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(_collect_rows, rounds=1, iterations=1)
+    print_table(
+        "Table 2: dataset statistics",
+        ["Dataset", "Entities", "Relations", "Classes", "Ent. matches", "Rel. matches", "Cls. matches"],
+        rows,
+    )
+    assert len(rows) == len(BENCH_DATASETS)
+    for row in rows:
+        assert row[4] > 0

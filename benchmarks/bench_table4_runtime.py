@@ -1,0 +1,35 @@
+"""Table 4: running time comparison.
+
+Times PARIS, the lexical matcher, the embedding baselines and DAAKG (plus its
+ablations) on the first benchmark dataset.  The paper's shape: PARIS and the
+text-only method run in seconds, all deep methods cost much more, and
+semi-supervision is DAAKG's most expensive component.
+"""
+
+from conftest import BENCH_DATASETS, bench_pair, fitted_daakg, print_table
+from repro.baselines import LexicalMatcher, MTransE, PARIS
+
+
+def test_table4_runtime(benchmark):
+    dataset = BENCH_DATASETS[0]
+    pair = bench_pair(dataset)
+
+    def run() -> list[list]:
+        rows = []
+        paris = PARIS().fit(pair)
+        rows.append(["PARIS", f"{paris.training_time.elapsed:.2f}s"])
+        lexical = LexicalMatcher().fit(pair)
+        rows.append(["Lexical", f"{lexical.training_time.elapsed:.2f}s"])
+        mtranse = MTransE().fit(pair)
+        rows.append(["MTransE", f"{mtranse.training_time.elapsed:.2f}s"])
+        full = fitted_daakg(dataset, "transe")
+        rows.append(["DAAKG (TransE)", f"{full.training_time.elapsed:.2f}s"])
+        without_semi = fitted_daakg(dataset, "transe", "semi_supervision")
+        rows.append(["DAAKG w/o semi-supervision", f"{without_semi.training_time.elapsed:.2f}s"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Table 4: running time ({dataset})", ["Method", "Time"], rows)
+    times = {row[0]: float(row[1][:-1]) for row in rows}
+    # PARIS (no training) should be cheaper than the full deep pipeline.
+    assert times["PARIS"] <= times["DAAKG (TransE)"]

@@ -1,0 +1,90 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce every table and figure of the paper's evaluation at a
+reduced scale so the whole suite runs in minutes on a laptop.  Two environment
+variables control fidelity:
+
+* ``REPRO_BENCH_SCALE`` (default ``0.4``) — multiplier on dataset size,
+* ``REPRO_BENCH_DATASETS`` (default ``D-W,D-Y``) — comma-separated dataset
+  names; set to ``D-W,D-Y,EN-DE,EN-FR`` for the full sweep.
+
+Expensive artefacts (datasets, fitted pipelines) are cached per session so the
+table benchmarks that share them do not re-train.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro import DAAKG, DAAKGConfig, make_benchmark
+from repro.alignment.trainer import AlignmentTrainingConfig
+from repro.embedding.trainer import EmbeddingTrainingConfig
+from repro.active.pool import PoolConfig
+from repro.inference.power import InferencePowerConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+BENCH_DATASETS = [
+    name.strip()
+    for name in os.environ.get("REPRO_BENCH_DATASETS", "D-W,D-Y").split(",")
+    if name.strip()
+]
+
+_PAIR_CACHE: dict[str, object] = {}
+_PIPELINE_CACHE: dict[tuple, DAAKG] = {}
+
+
+def bench_pair(name: str):
+    """A benchmark dataset at the configured scale (cached)."""
+    key = f"{name}:{BENCH_SCALE}"
+    if key not in _PAIR_CACHE:
+        _PAIR_CACHE[key] = make_benchmark(name, scale=BENCH_SCALE, seed=0)
+    return _PAIR_CACHE[key]
+
+
+def quick_config(base_model: str = "transe", **overrides) -> DAAKGConfig:
+    """A DAAKG configuration sized for the benchmark harness."""
+    config = DAAKGConfig(
+        base_model=base_model,
+        pretrain=EmbeddingTrainingConfig(epochs=6),
+        alignment=AlignmentTrainingConfig(
+            rounds=3,
+            epochs_per_round=15,
+            num_negatives=8,
+            embedding_batches_per_round=3,
+            embedding_batch_size=512,
+        ),
+        pool=PoolConfig(top_n=50),
+        inference=InferencePowerConfig(max_hops=2, power_threshold=0.5),
+        seed=0,
+    )
+    if overrides:
+        config = replace(config, **overrides)
+    return config
+
+
+def fitted_daakg(dataset: str, base_model: str = "transe", ablation: str = "full") -> DAAKG:
+    """A fitted DAAKG pipeline (cached per dataset/model/ablation)."""
+    key = (dataset, base_model, ablation, BENCH_SCALE)
+    if key not in _PIPELINE_CACHE:
+        config = quick_config(base_model).with_ablation(ablation)
+        pipeline = DAAKG(bench_pair(dataset), config)
+        pipeline.fit()
+        _PIPELINE_CACHE[key] = pipeline
+    return _PIPELINE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def bench_datasets() -> list[str]:
+    return list(BENCH_DATASETS)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a result table in the shape of the paper's tables."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(x)) for x in [header[i]] + [row[i] for row in rows]) for i in range(len(header))]
+    print("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        print("  ".join(str(x).ljust(widths[i]) for i, x in enumerate(row)))

@@ -1,0 +1,64 @@
+"""Active learning campaign: spend a labelling budget wisely.
+
+Starts from a small seed of labelled entity matches (5% of the gold matches),
+then runs several batches of active learning, comparing the paper's
+inference-power-based selection (DAAKG) against random and uncertainty
+sampling.  Prints the progressive H@1/F1 after every batch — the data behind
+Figure 5 of the paper.
+
+Run with::
+
+    python examples/active_learning_campaign.py
+"""
+
+from repro import DAAKG, DAAKGConfig, make_benchmark
+from repro.active import ActiveLearningConfig, PoolConfig, create_strategy
+from repro.alignment.trainer import AlignmentTrainingConfig
+from repro.inference.power import InferencePowerConfig
+from repro.kg.pair import SplitRatios
+from repro.utils.logging import enable_console_logging
+
+
+def run_campaign(strategy_name: str, seed: int = 0) -> list:
+    pair = make_benchmark("D-W", split=SplitRatios(train=0.05, valid=0.05, test=0.9), seed=seed)
+    config = DAAKGConfig(
+        base_model="transe",
+        alignment=AlignmentTrainingConfig(rounds=2, epochs_per_round=15, num_negatives=10,
+                                          embedding_batches_per_round=4, embedding_batch_size=512),
+        pool=PoolConfig(top_n=50),
+        inference=InferencePowerConfig(max_hops=2, power_threshold=0.5),
+        seed=seed,
+    )
+    daakg = DAAKG(pair, config)
+    daakg.fit()
+
+    loop = daakg.active_learning(
+        strategy=create_strategy(strategy_name),
+        config=ActiveLearningConfig(
+            batch_size=40,
+            num_batches=3,
+            fine_tune_epochs=10,
+            pool=config.pool,
+            inference=config.inference,
+        ),
+    )
+    return loop.run()
+
+
+def main() -> None:
+    enable_console_logging()
+    for strategy in ("random", "uncertainty", "daakg"):
+        print(f"\n=== strategy: {strategy} ===")
+        records = run_campaign(strategy)
+        for record in records:
+            print(
+                f"  batch {record.batch_index}: labels={record.labels_used:4d} "
+                f"matched={record.matches_labelled:4d} "
+                f"entity H@1={record.entity_scores.hits_at_1:.3f} "
+                f"F1={record.entity_scores.f1:.3f} "
+                f"({record.seconds:.1f}s)"
+            )
+
+
+if __name__ == "__main__":
+    main()

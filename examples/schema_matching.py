@@ -1,0 +1,65 @@
+"""Schema matching: align relations and classes of two KGs.
+
+The motivating scenario of the paper's introduction — a KG with hundreds of
+relations and classes where entity-level evidence should drive schema-level
+decisions.  This example fits DAAKG on the D-Y style dataset (small class
+vocabulary, asymmetric relations), compares against PARIS and the lexical
+matcher, and prints the relation/class matches each method finds.
+
+Run with::
+
+    python examples/schema_matching.py
+"""
+
+from repro import DAAKG, DAAKGConfig, ElementKind, make_benchmark
+from repro.alignment.trainer import AlignmentTrainingConfig
+from repro.baselines import LexicalMatcher, PARIS
+
+
+def describe(name: str, scores: dict) -> None:
+    relation = scores["relation"]
+    cls = scores["class"]
+    print(
+        f"  {name:>8}:  relation H@1={relation.hits_at_1:.3f} F1={relation.f1:.3f}   "
+        f"class H@1={cls.hits_at_1:.3f} F1={cls.f1:.3f}"
+    )
+
+
+def main() -> None:
+    pair = make_benchmark("D-Y", seed=0)
+    print("Dataset:", pair.name)
+    print(f"  relations: {pair.kg1.num_relations} vs {pair.kg2.num_relations}")
+    print(f"  classes:   {pair.kg1.num_classes} vs {pair.kg2.num_classes}")
+
+    print("\nSchema alignment quality:")
+
+    daakg = DAAKG(
+        pair,
+        DAAKGConfig(
+            base_model="transe",
+            alignment=AlignmentTrainingConfig(rounds=3, epochs_per_round=20, num_negatives=10,
+                                              embedding_batches_per_round=4,
+                                              embedding_batch_size=512),
+            seed=0,
+        ),
+    )
+    daakg.fit()
+    describe("DAAKG", daakg.evaluate())
+
+    paris = PARIS().fit(pair)
+    describe("PARIS", paris.evaluate())
+
+    lexical = LexicalMatcher().fit(pair)
+    describe("lexical", lexical.evaluate())
+
+    print("\nRelation matches predicted by DAAKG:")
+    for left, right in daakg.predict_matches(ElementKind.RELATION, threshold=0.5)[:10]:
+        print(f"  {left}  <->  {right}")
+
+    print("\nClass matches predicted by DAAKG:")
+    for left, right in daakg.predict_matches(ElementKind.CLASS, threshold=0.5)[:10]:
+        print(f"  {left}  <->  {right}")
+
+
+if __name__ == "__main__":
+    main()

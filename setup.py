@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that legacy editable installs (``pip install -e . --no-use-pep517``) work
+on machines without the ``wheel`` package or network access to build
+dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — a reproduction of DAAKG (SIGMOD 2023).
+
+Deep active alignment of knowledge graph entities and schemata: joint
+embedding-based alignment of entities, relations and classes, inference power
+measurement, and batch active learning, built on a NumPy autograd substrate.
+
+Public API highlights
+---------------------
+* :func:`repro.datasets.make_benchmark` — OpenEA-style synthetic benchmark pairs.
+* :class:`repro.core.DAAKG` / :class:`repro.core.DAAKGConfig` — the pipeline.
+* :mod:`repro.baselines` — PARIS, MTransE, GCN-Align-style, BootEA-style and
+  lexical baselines for the comparison experiments.
+* :mod:`repro.active` — pool generation, selection algorithms, the active loop.
+"""
+
+from repro.core import DAAKG, DAAKGConfig
+from repro.datasets import make_benchmark, available_benchmarks
+from repro.kg import AlignedKGPair, ElementKind, KnowledgeGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignedKGPair",
+    "DAAKG",
+    "DAAKGConfig",
+    "ElementKind",
+    "KnowledgeGraph",
+    "available_benchmarks",
+    "make_benchmark",
+    "__version__",
+]

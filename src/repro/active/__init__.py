@@ -1,0 +1,53 @@
+"""Batch active learning (Sect. 6 of the paper).
+
+The pool generator couples each entity with its nearest neighbours by schema
+signature (Eqs. 24–25) and keeps all relation and class pairs; the selection
+algorithms pick the batch of element pairs with the greatest expected overall
+inference power — greedily (Algorithm 1) or via graph partitioning
+(Algorithm 2) — and the active loop drives the oracle-label / fine-tune cycle
+until the labelling budget is exhausted.
+"""
+
+from repro.active.pool import ElementPairPool, PoolConfig, build_pool, schema_signatures
+from repro.active.oracle import Oracle
+from repro.active.selection import GreedySelectionConfig, greedy_select
+from repro.active.partition import PartitionSelectionConfig, partition_select, partition_pool
+from repro.active.strategies import (
+    ActiveEAStrategy,
+    DAAKGStrategy,
+    DegreeStrategy,
+    PageRankStrategy,
+    RandomStrategy,
+    SelectionState,
+    SelectionStrategy,
+    UncertaintyStrategy,
+    STRATEGY_REGISTRY,
+    create_strategy,
+)
+from repro.active.loop import ActiveLearningConfig, ActiveLearningLoop, ActiveLearningRecord
+
+__all__ = [
+    "ActiveEAStrategy",
+    "ActiveLearningConfig",
+    "ActiveLearningLoop",
+    "ActiveLearningRecord",
+    "DAAKGStrategy",
+    "DegreeStrategy",
+    "ElementPairPool",
+    "GreedySelectionConfig",
+    "Oracle",
+    "PageRankStrategy",
+    "PartitionSelectionConfig",
+    "PoolConfig",
+    "RandomStrategy",
+    "STRATEGY_REGISTRY",
+    "SelectionState",
+    "SelectionStrategy",
+    "UncertaintyStrategy",
+    "build_pool",
+    "create_strategy",
+    "greedy_select",
+    "partition_pool",
+    "partition_select",
+    "schema_signatures",
+]

@@ -1,0 +1,207 @@
+"""The active alignment loop (Figure 2, right-hand side).
+
+Each iteration: build the selection state (pool, calibrated probabilities,
+optionally the alignment graph and inference-power estimator), ask the
+strategy for a batch, label it with the oracle, fine-tune the joint alignment
+model on the new labels (focal loss), and record progressive evaluation
+scores.  The loop stops when the labelling budget (number of batches) runs
+out, as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.active.oracle import Oracle
+from repro.active.pool import ElementPairPool, PoolConfig, build_pool
+from repro.active.strategies import SelectionState, SelectionStrategy
+from repro.alignment.calibration import AlignmentCalibrator, CalibrationConfig
+from repro.alignment.evaluation import AlignmentScores, evaluate_alignment
+from repro.alignment.trainer import JointAlignmentTrainer
+from repro.inference.alignment_graph import build_alignment_graph
+from repro.inference.pairs import ElementPair
+from repro.inference.power import InferencePowerConfig, InferencePowerEstimator
+from repro.kg.elements import ElementKind
+from repro.kg.pair import AlignedKGPair
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, ensure_rng
+
+logger = get_logger(__name__)
+
+_KINDS = (ElementKind.ENTITY, ElementKind.RELATION, ElementKind.CLASS)
+
+
+@dataclass(frozen=True)
+class ActiveLearningConfig:
+    """Budget and refresh settings of the active loop."""
+
+    batch_size: int = 50
+    num_batches: int = 5
+    fine_tune_epochs: int = 15
+    pool: PoolConfig = PoolConfig()
+    inference: InferencePowerConfig = InferencePowerConfig()
+    calibration: CalibrationConfig = CalibrationConfig()
+    rebuild_pool_each_batch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1 or self.num_batches < 1:
+            raise ValueError("batch_size and num_batches must be >= 1")
+
+
+@dataclass
+class ActiveLearningRecord:
+    """Progressive scores after one labelled batch."""
+
+    batch_index: int
+    labels_used: int
+    matches_labelled: int
+    match_fraction: float
+    entity_scores: AlignmentScores
+    relation_scores: AlignmentScores
+    class_scores: AlignmentScores
+    seconds: float
+    selected: list[ElementPair] = field(default_factory=list)
+
+
+class ActiveLearningLoop:
+    """Drives strategy → oracle → fine-tune iterations."""
+
+    def __init__(
+        self,
+        pair: AlignedKGPair,
+        trainer: JointAlignmentTrainer,
+        oracle: Oracle,
+        strategy: SelectionStrategy,
+        config: ActiveLearningConfig | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        self.pair = pair
+        self.trainer = trainer
+        self.model = trainer.model
+        self.oracle = oracle
+        self.strategy = strategy
+        self.config = config or ActiveLearningConfig()
+        self.rng = ensure_rng(seed)
+        self.calibrator = AlignmentCalibrator(self.config.calibration)
+        self._pool: ElementPairPool | None = None
+        self.records: list[ActiveLearningRecord] = []
+
+    # ----------------------------------------------------------------- state
+    def pool(self) -> ElementPairPool:
+        if self._pool is None or self.config.rebuild_pool_each_batch:
+            self._pool = build_pool(self.model, self.config.pool)
+        return self._pool
+
+    def _probability_lookup(self, pool: ElementPairPool) -> dict[ElementPair, float]:
+        lookup: dict[ElementPair, float] = {}
+        matrices = {
+            ElementKind.ENTITY: self.calibrator.probability_matrix(
+                self.model.entity_similarity_matrix(), ElementKind.ENTITY
+            ),
+            ElementKind.RELATION: self.calibrator.probability_matrix(
+                self.model.relation_similarity_matrix(), ElementKind.RELATION
+            ),
+            ElementKind.CLASS: self.calibrator.probability_matrix(
+                self.model.class_similarity_matrix(), ElementKind.CLASS
+            ),
+        }
+        for pair in pool.all_pairs:
+            matrix = matrices[pair.kind]
+            if matrix.size:
+                lookup[pair] = float(matrix[pair.left, pair.right])
+            else:
+                lookup[pair] = 0.0
+        return lookup
+
+    def _build_state(self) -> SelectionState:
+        pool = self.pool()
+        labelled = {
+            ElementKind.ENTITY: self.trainer.labels.labelled_pairs(ElementKind.ENTITY),
+            ElementKind.RELATION: self.trainer.labels.labelled_pairs(ElementKind.RELATION),
+            ElementKind.CLASS: self.trainer.labels.labelled_pairs(ElementKind.CLASS),
+        }
+        unlabelled = [
+            pair for pair in pool.all_pairs if (pair.left, pair.right) not in labelled[pair.kind]
+        ]
+        probabilities = self._probability_lookup(pool)
+        graph = None
+        estimator = None
+        if self.strategy.requires_inference:
+            graph = build_alignment_graph(
+                self.model.kg1,
+                self.model.kg2,
+                pool.entity_pair_set(),
+                {(p.left, p.right) for p in pool.relation_pairs},
+                {(p.left, p.right) for p in pool.class_pairs},
+            )
+            estimator = InferencePowerEstimator(
+                self.model, graph, self.config.inference, rng=self.rng
+            )
+        return SelectionState(
+            pool=pool,
+            unlabelled=unlabelled,
+            probabilities=probabilities,
+            model=self.model,
+            graph=graph,
+            estimator=estimator,
+            rng=self.rng,
+        )
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate(self) -> tuple[AlignmentScores, AlignmentScores, AlignmentScores]:
+        """Scores on the unseen test entity matches and all schema matches."""
+        test_ids = self.pair.entity_match_ids(self.pair.test_entity_pairs)
+        entity = evaluate_alignment(self.model.entity_similarity_matrix(), test_ids)
+        relation = evaluate_alignment(
+            self.model.relation_similarity_matrix(), self.pair.relation_match_ids()
+        )
+        cls = evaluate_alignment(self.model.class_similarity_matrix(), self.pair.class_match_ids())
+        return entity, relation, cls
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> list[ActiveLearningRecord]:
+        """Run the configured number of batches; returns one record per batch."""
+        total_matches = max(len(self.pair.entity_alignment), 1)
+        for batch_index in range(self.config.num_batches):
+            start = time.perf_counter()
+            state = self._build_state()
+            selected = self.strategy.select(state, self.config.batch_size)
+            if not selected:
+                logger.info("strategy returned no pairs; stopping at batch %d", batch_index)
+                break
+            answers = self.oracle.label_batch(selected)
+            new_matches: dict[ElementKind, list[tuple[int, int]]] = {k: [] for k in _KINDS}
+            new_non_matches: dict[ElementKind, list[tuple[int, int]]] = {k: [] for k in _KINDS}
+            for pair, is_match in answers:
+                target = new_matches if is_match else new_non_matches
+                target[pair.kind].append((pair.left, pair.right))
+            self.trainer.fine_tune(
+                new_matches, new_non_matches, epochs=self.config.fine_tune_epochs
+            )
+            entity_scores, relation_scores, class_scores = self.evaluate()
+            matches_labelled = sum(
+                len(v) for v in self.trainer.labels.matches.values()
+            )
+            record = ActiveLearningRecord(
+                batch_index=batch_index,
+                labels_used=self.oracle.questions_asked,
+                matches_labelled=matches_labelled,
+                match_fraction=len(self.trainer.labels.matches[ElementKind.ENTITY]) / total_matches,
+                entity_scores=entity_scores,
+                relation_scores=relation_scores,
+                class_scores=class_scores,
+                seconds=time.perf_counter() - start,
+                selected=selected,
+            )
+            self.records.append(record)
+            logger.info(
+                "batch %d: labels=%d entity H@1=%.3f F1=%.3f",
+                batch_index,
+                record.labels_used,
+                entity_scores.hits_at_1,
+                entity_scores.f1,
+            )
+        return self.records

@@ -1,0 +1,198 @@
+"""Graph partitioning-based selection (Algorithm 2).
+
+Computing the reachable set of every candidate with bounded-depth path search
+(the brute-force step of Algorithm 1) dominates the selection cost.  The
+partitioning algorithm first groups element pairs so that, for every pair, at
+most a ``1 − ρ`` fraction of its outgoing edge power stays inside its own
+group; the estimated inference power is then computed on the much smaller
+quotient graph (partitions as super-nodes), and the greedy selection of
+Algorithm 1 runs with that estimate.  Theorem 6.2 gives the resulting
+``ρ^μ (1 − 1/e)`` approximation guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.active.selection import GreedySelectionConfig, greedy_select
+from repro.inference.alignment_graph import AlignmentGraph
+from repro.inference.pairs import ElementPair
+from repro.inference.power import InferencePowerEstimator
+from repro.kg.elements import ElementKind
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class PartitionSelectionConfig:
+    """Parameters of Algorithm 2."""
+
+    rho: float = 0.9
+    max_partitions: int = 200
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho <= 1.0:
+            raise ValueError("rho must be in (0, 1]")
+        if self.max_partitions < 1:
+            raise ValueError("max_partitions must be >= 1")
+
+
+def partition_pool(
+    graph: AlignmentGraph,
+    estimator: InferencePowerEstimator,
+    config: PartitionSelectionConfig | None = None,
+) -> dict[ElementPair, int]:
+    """Split entity pairs into groups following Algorithm 2's refinement loop.
+
+    Returns a mapping from entity pair to partition id.  Pairs with no edges
+    keep partition 0.
+    """
+    config = config or PartitionSelectionConfig()
+    edge_power: dict[tuple[ElementPair, ElementPair], float] = {}
+    edge_relation: dict[tuple[ElementPair, ElementPair], ElementPair] = {}
+    for edge in graph.edges:
+        power = estimator.edge_power(edge)
+        key = (edge.source, edge.target)
+        if power > edge_power.get(key, 0.0):
+            edge_power[key] = power
+            edge_relation[key] = edge.relation
+
+    partition_of: dict[ElementPair, int] = {pair: 0 for pair in graph.entity_pairs}
+    num_partitions = 1
+    changed = True
+    while changed and num_partitions < config.max_partitions:
+        changed = False
+        members: dict[int, list[ElementPair]] = defaultdict(list)
+        for pair, pid in partition_of.items():
+            members[pid].append(pair)
+        for pid, pairs in list(members.items()):
+            if len(pairs) <= 1:
+                continue
+            pair_set = set(pairs)
+            # find the minimum outer-power ratio over members of this partition
+            worst_ratio = 1.0
+            for pair in pairs:
+                inner = outer = 0.0
+                for edge in graph.out_edges.get(pair, []):
+                    power = edge_power.get((edge.source, edge.target), 0.0)
+                    if edge.target in pair_set:
+                        inner += power
+                    else:
+                        outer += power
+                total = inner + outer
+                if total > 0:
+                    worst_ratio = min(worst_ratio, outer / total)
+            if worst_ratio >= config.rho:
+                continue
+            # split on the relation pair carrying the most intra-partition power
+            relation_power: dict[ElementPair, float] = defaultdict(float)
+            for pair in pairs:
+                for edge in graph.out_edges.get(pair, []):
+                    if edge.target in pair_set:
+                        relation_power[edge.relation] += edge_power.get(
+                            (edge.source, edge.target), 0.0
+                        )
+            if not relation_power:
+                continue
+            split_relation = max(relation_power.items(), key=lambda item: item[1])[0]
+            moved = {
+                edge.source
+                for pair in pairs
+                for edge in graph.out_edges.get(pair, [])
+                if edge.relation == split_relation and edge.target in pair_set
+            }
+            if not moved or len(moved) == len(pairs):
+                continue
+            for pair in moved:
+                partition_of[pair] = num_partitions
+            num_partitions += 1
+            changed = True
+            if num_partitions >= config.max_partitions:
+                break
+    logger.debug("partitioned %d entity pairs into %d groups", len(partition_of), num_partitions)
+    return partition_of
+
+
+def _quotient_reach(
+    graph: AlignmentGraph,
+    estimator: InferencePowerEstimator,
+    partition_of: dict[ElementPair, int],
+    max_hops: int,
+) -> dict[int, dict[int, float]]:
+    """Maximum edge power between partitions (the quotient graph)."""
+    quotient: dict[int, dict[int, float]] = defaultdict(dict)
+    for edge in graph.edges:
+        src = partition_of.get(edge.source)
+        dst = partition_of.get(edge.target)
+        if src is None or dst is None or src == dst:
+            continue
+        power = estimator.edge_power(edge)
+        if power > quotient[src].get(dst, 0.0):
+            quotient[src][dst] = power
+    return quotient
+
+
+def partition_select(
+    candidates: list[ElementPair],
+    probabilities: dict[ElementPair, float],
+    graph: AlignmentGraph,
+    estimator: InferencePowerEstimator,
+    selection_config: GreedySelectionConfig | None = None,
+    partition_config: PartitionSelectionConfig | None = None,
+    rng: RandomState = None,
+) -> list[ElementPair]:
+    """Algorithm 2: partition the pool, then run the greedy selection on estimates.
+
+    The estimated reach of a candidate assigns each reachable partition the
+    best path power on the quotient graph, and every member of that partition
+    inherits it; schema pairs keep their exact (cheap) gradient-based reach.
+    """
+    selection_config = selection_config or GreedySelectionConfig()
+    partition_config = partition_config or PartitionSelectionConfig()
+    partition_of = partition_pool(graph, estimator, partition_config)
+    quotient = _quotient_reach(graph, estimator, partition_of, estimator.config.max_hops)
+    members: dict[int, list[ElementPair]] = defaultdict(list)
+    for pair, pid in partition_of.items():
+        members[pid].append(pair)
+
+    def estimated_reach(candidate: ElementPair) -> dict[ElementPair, float]:
+        if candidate.kind is not ElementKind.ENTITY:
+            return estimator.reachable_power(candidate)
+        # first hop: actual edges out of the candidate
+        partition_power: dict[int, float] = {}
+        for edge in graph.out_edges.get(candidate, []):
+            pid = partition_of.get(edge.target)
+            if pid is None:
+                continue
+            power = estimator.edge_power(edge)
+            if power > partition_power.get(pid, 0.0):
+                partition_power[pid] = power
+        # further hops on the quotient graph (multiplicative attenuation)
+        frontier = dict(partition_power)
+        for _ in range(estimator.config.max_hops - 1):
+            next_frontier: dict[int, float] = {}
+            for pid, power in frontier.items():
+                for neighbor, edge_power in quotient.get(pid, {}).items():
+                    value = power * edge_power
+                    if value > partition_power.get(neighbor, 0.0) and value > estimator.config.min_power:
+                        partition_power[neighbor] = value
+                        next_frontier[neighbor] = value
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        reach: dict[ElementPair, float] = {}
+        for pid, power in partition_power.items():
+            for member in members.get(pid, []):
+                if member != candidate:
+                    reach[member] = power
+        # schema pairs are cheap to reach exactly
+        for target, value in estimator.entity_to_class_power(candidate).items():
+            reach[target] = max(reach.get(target, 0.0), value)
+        for target, value in estimator.entity_to_relation_power(candidate).items():
+            reach[target] = max(reach.get(target, 0.0), value)
+        return reach
+
+    return greedy_select(candidates, probabilities, estimated_reach, selection_config, rng)

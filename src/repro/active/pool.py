@@ -1,0 +1,159 @@
+"""Element pair pool generation (Sect. 6.1).
+
+Each entity gets a *schema signature* — the concatenation of its
+relation-evidence vector and class-evidence vector, where dangling relations
+and classes are down-weighted by their best alignment similarity (Eqs. 24–25).
+The pool keeps, for every entity, its top-N nearest neighbours by signature
+cosine similarity (mutually, i.e. a pair survives only if each side ranks the
+other), plus every relation pair and every class pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.alignment.model import JointAlignmentModel
+from repro.inference.pairs import ElementPair, class_pair, entity_pair, relation_pair
+from repro.kg.elements import ElementKind
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.math import cosine_similarity_matrix
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Parameters of pool generation."""
+
+    top_n: int = 200
+    include_relation_pairs: bool = True
+    include_class_pairs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.top_n < 1:
+            raise ValueError("top_n must be >= 1")
+
+
+@dataclass
+class ElementPairPool:
+    """The candidate element pairs active learning may ask the oracle about."""
+
+    entity_pairs: list[ElementPair] = field(default_factory=list)
+    relation_pairs: list[ElementPair] = field(default_factory=list)
+    class_pairs: list[ElementPair] = field(default_factory=list)
+
+    @property
+    def all_pairs(self) -> list[ElementPair]:
+        return self.entity_pairs + self.relation_pairs + self.class_pairs
+
+    def __len__(self) -> int:
+        return len(self.entity_pairs) + len(self.relation_pairs) + len(self.class_pairs)
+
+    def __contains__(self, pair: ElementPair) -> bool:
+        if pair.kind is ElementKind.ENTITY:
+            return pair in self._entity_set
+        if pair.kind is ElementKind.RELATION:
+            return pair in self._relation_set
+        return pair in self._class_set
+
+    def __post_init__(self) -> None:
+        self._entity_set = set(self.entity_pairs)
+        self._relation_set = set(self.relation_pairs)
+        self._class_set = set(self.class_pairs)
+
+    def entity_pair_set(self) -> set[tuple[int, int]]:
+        return {(p.left, p.right) for p in self.entity_pairs}
+
+    def recall_of_matches(self, gold_pairs: set[tuple[int, int]]) -> float:
+        """Fraction of gold entity matches preserved by the pool (Figure 6)."""
+        if not gold_pairs:
+            return 0.0
+        kept = sum(1 for pair in gold_pairs if entity_pair(*pair) in self._entity_set)
+        return kept / len(gold_pairs)
+
+
+def _evidence_vector(
+    kg: KnowledgeGraph,
+    entity: int,
+    weights: np.ndarray,
+    embeddings: np.ndarray,
+    incident: list[int],
+) -> np.ndarray:
+    """Weighted average of evidence embeddings incident to one entity."""
+    dim = embeddings.shape[1] if embeddings.size else 0
+    if not incident or dim == 0:
+        return np.zeros(dim)
+    w = weights[incident]
+    total = w.sum()
+    if total < 1e-9:
+        return embeddings[incident].mean(axis=0)
+    return (embeddings[incident] * w[:, None]).sum(axis=0) / total
+
+
+def schema_signatures(
+    kg: KnowledgeGraph,
+    relation_weights: np.ndarray,
+    class_weights: np.ndarray,
+    mean_relations: np.ndarray,
+    mean_classes: np.ndarray,
+) -> np.ndarray:
+    """Schema signatures ``sig(e)`` for every entity of one KG (Eq. 24).
+
+    ``relation_weights`` / ``class_weights`` are the best alignment
+    similarities of each relation / class (Eq. 25); ``mean_relations`` /
+    ``mean_classes`` are the weighted mean embeddings (Eqs. 7 and 9).
+    """
+    rel_dim = mean_relations.shape[1] if mean_relations.size else 0
+    cls_dim = mean_classes.shape[1] if mean_classes.size else 0
+    signatures = np.zeros((kg.num_entities, rel_dim + cls_dim))
+    for e in range(kg.num_entities):
+        incident_relations = sorted(kg.relations_of_entity(e))
+        incident_classes = kg.classes_of(e)
+        rel_part = _evidence_vector(kg, e, relation_weights, mean_relations, incident_relations)
+        cls_part = _evidence_vector(kg, e, class_weights, mean_classes, incident_classes)
+        signatures[e] = np.concatenate([rel_part, cls_part])
+    return signatures
+
+
+def build_pool(model: JointAlignmentModel, config: PoolConfig | None = None) -> ElementPairPool:
+    """Build the element pair pool from the current joint alignment model."""
+    config = config or PoolConfig()
+    kg1, kg2 = model.kg1, model.kg2
+    snap = model.snapshot
+    relation_similarity = model.relation_similarity_matrix()
+    class_similarity = model.class_similarity_matrix()
+    rel_weights_1 = relation_similarity.max(axis=1) if relation_similarity.size else np.zeros(kg1.num_relations)
+    rel_weights_2 = relation_similarity.max(axis=0) if relation_similarity.size else np.zeros(kg2.num_relations)
+    cls_weights_1 = class_similarity.max(axis=1) if class_similarity.size else np.zeros(kg1.num_classes)
+    cls_weights_2 = class_similarity.max(axis=0) if class_similarity.size else np.zeros(kg2.num_classes)
+
+    signatures_1 = schema_signatures(
+        kg1, rel_weights_1, cls_weights_1, snap.mean_relations_1, snap.mean_classes_1
+    )
+    signatures_2 = schema_signatures(
+        kg2, rel_weights_2, cls_weights_2, snap.mean_relations_2, snap.mean_classes_2
+    )
+    similarity = cosine_similarity_matrix(signatures_1, signatures_2)
+
+    top_n = min(config.top_n, kg2.num_entities)
+    top_n_rev = min(config.top_n, kg1.num_entities)
+    top_for_left = np.argsort(-similarity, axis=1)[:, :top_n]
+    top_for_right = np.argsort(-similarity.T, axis=1)[:, :top_n_rev]
+    right_sets = [set(row.tolist()) for row in top_for_right]
+    entity_pairs = []
+    for left in range(kg1.num_entities):
+        for right in top_for_left[left]:
+            if left in right_sets[int(right)]:
+                entity_pairs.append(entity_pair(left, int(right)))
+
+    relation_pairs = (
+        [relation_pair(a, b) for a in range(kg1.num_relations) for b in range(kg2.num_relations)]
+        if config.include_relation_pairs
+        else []
+    )
+    class_pairs = (
+        [class_pair(a, b) for a in range(kg1.num_classes) for b in range(kg2.num_classes)]
+        if config.include_class_pairs
+        else []
+    )
+    return ElementPairPool(entity_pairs, relation_pairs, class_pairs)

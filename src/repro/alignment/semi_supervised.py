@@ -1,0 +1,75 @@
+"""Semi-supervised potential-match mining (Sect. 4.2).
+
+Element pairs whose similarity exceeds a threshold ``τ`` are mined as extra
+supervision.  Conflicts (one element matched to several counterparts) are
+resolved greedily by similarity, and the previous model's similarity is kept
+as a *soft label* so that the semi-supervised loss (Eq. 10) down-weights
+less certain potential matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PotentialMatch:
+    """A mined potential match with its soft label."""
+
+    left: int
+    right: int
+    soft_label: float
+
+
+def resolve_conflicts(candidates: list[tuple[int, int, float]]) -> list[tuple[int, int, float]]:
+    """Keep a one-to-one subset of candidate matches, preferring higher scores.
+
+    Candidates are ``(left, right, score)`` triples; the result is sorted by
+    descending score and contains each left/right element at most once.
+    """
+    ordered = sorted(candidates, key=lambda c: -c[2])
+    used_left: set[int] = set()
+    used_right: set[int] = set()
+    kept: list[tuple[int, int, float]] = []
+    for left, right, score in ordered:
+        if left in used_left or right in used_right:
+            continue
+        used_left.add(left)
+        used_right.add(right)
+        kept.append((left, right, score))
+    return kept
+
+
+def mine_potential_matches(
+    similarity_matrix: np.ndarray,
+    threshold: float,
+    exclude: set[tuple[int, int]] | None = None,
+    exclude_left: set[int] | None = None,
+    exclude_right: set[int] | None = None,
+    max_candidates: int | None = None,
+) -> list[PotentialMatch]:
+    """Mine one-to-one potential matches with similarity above ``threshold``.
+
+    ``exclude`` removes pairs already labelled; ``exclude_left`` /
+    ``exclude_right`` remove elements whose counterpart is already known, so
+    semi-supervision does not contradict oracle labels.
+    """
+    if similarity_matrix.size == 0:
+        return []
+    exclude = exclude or set()
+    exclude_left = exclude_left or set()
+    exclude_right = exclude_right or set()
+    rows, cols = np.where(similarity_matrix >= threshold)
+    candidates = [
+        (int(i), int(j), float(similarity_matrix[i, j]))
+        for i, j in zip(rows, cols)
+        if (int(i), int(j)) not in exclude
+        and int(i) not in exclude_left
+        and int(j) not in exclude_right
+    ]
+    resolved = resolve_conflicts(candidates)
+    if max_candidates is not None:
+        resolved = resolved[:max_candidates]
+    return [PotentialMatch(left, right, score) for left, right, score in resolved]

@@ -1,0 +1,394 @@
+"""Training the joint alignment model (Sect. 4.2).
+
+The trainer owns the labelled match/non-match sets for entities, relations and
+classes, and optimises:
+
+* the alignment losses ``O_ea``, ``O_ra``, ``O_ca`` (pairwise softmax against
+  corrupted matches, Eqs. 5 and 8),
+* a hinge penalty on labelled non-matches (oracle "no" answers),
+* the semi-supervised loss on mined potential matches (Eq. 10),
+* a small number of continued embedding batches per round, so the entity
+  structure does not drift while the mapping matrices are being fitted.
+
+``fine_tune`` implements the focal-loss fine-tuning used between active
+learning batches: newly labelled pairs are emphasised by ``(1 − p)^γ``
+weights instead of retraining from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.alignment.model import JointAlignmentModel
+from repro.alignment.semi_supervised import PotentialMatch, mine_potential_matches
+from repro.kg.elements import ElementKind
+from repro.kg.sampling import NegativeSampler, corrupt_match_pairs
+from repro.nn.optim import Adam
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, ensure_rng
+
+logger = get_logger(__name__)
+
+_KINDS = (ElementKind.ENTITY, ElementKind.RELATION, ElementKind.CLASS)
+
+
+@dataclass(frozen=True)
+class AlignmentTrainingConfig:
+    """Hyper-parameters of joint alignment training."""
+
+    rounds: int = 3
+    epochs_per_round: int = 25
+    learning_rate: float = 0.02
+    num_negatives: int = 5
+    semi_supervised: bool = True
+    semi_threshold: float = 0.7
+    semi_max_per_kind: int = 500
+    focal_gamma: float = 2.0
+    non_match_margin: float = 0.3
+    embedding_batches_per_round: int = 2
+    embedding_batch_size: int = 256
+    embedding_margin: float = 1.0
+    align_relations_via_entity_map: bool = True
+    hard_negative_fraction: float = 0.5
+    hard_negative_pool: int = 10
+    entity_anchor_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0 or self.epochs_per_round <= 0:
+            raise ValueError("rounds and epochs_per_round must be positive")
+        if not 0.0 < self.semi_threshold <= 1.0:
+            raise ValueError("semi_threshold must be in (0, 1]")
+        if self.focal_gamma < 0:
+            raise ValueError("focal_gamma must be non-negative")
+        if not 0.0 <= self.hard_negative_fraction <= 1.0:
+            raise ValueError("hard_negative_fraction must be in [0, 1]")
+
+
+@dataclass
+class LabelStore:
+    """Labelled matches and non-matches per element kind (index pairs)."""
+
+    matches: dict[ElementKind, list[tuple[int, int]]] = field(
+        default_factory=lambda: {k: [] for k in _KINDS}
+    )
+    non_matches: dict[ElementKind, list[tuple[int, int]]] = field(
+        default_factory=lambda: {k: [] for k in _KINDS}
+    )
+
+    def add(self, kind: ElementKind, pair: tuple[int, int], is_match: bool) -> None:
+        store = self.matches if is_match else self.non_matches
+        if pair not in store[kind]:
+            store[kind].append(pair)
+
+    def match_array(self, kind: ElementKind) -> np.ndarray:
+        pairs = self.matches[kind]
+        return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+    def non_match_array(self, kind: ElementKind) -> np.ndarray:
+        pairs = self.non_matches[kind]
+        return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+    def labelled_pairs(self, kind: ElementKind) -> set[tuple[int, int]]:
+        return set(self.matches[kind]) | set(self.non_matches[kind])
+
+    def num_labels(self) -> int:
+        return sum(len(v) for v in self.matches.values()) + sum(
+            len(v) for v in self.non_matches.values()
+        )
+
+
+class JointAlignmentTrainer:
+    """Optimises a :class:`JointAlignmentModel` from labelled element pairs."""
+
+    def __init__(
+        self,
+        model: JointAlignmentModel,
+        config: AlignmentTrainingConfig | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        self.model = model
+        self.config = config or AlignmentTrainingConfig()
+        self.rng = ensure_rng(seed)
+        self.labels = LabelStore()
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        self._sampler1 = NegativeSampler(model.kg1, seed=self.rng)
+        self._sampler2 = NegativeSampler(model.kg2, seed=self.rng)
+        self._semi: dict[ElementKind, list[PotentialMatch]] = {k: [] for k in _KINDS}
+        self._hard_candidates: tuple[np.ndarray, np.ndarray] | None = None
+        self.loss_history: list[float] = []
+
+    # ----------------------------------------------------------------- labels
+    def add_matches(self, kind: ElementKind, pairs: np.ndarray | list[tuple[int, int]]) -> None:
+        for left, right in np.asarray(pairs, dtype=np.int64).reshape(-1, 2):
+            self.labels.add(kind, (int(left), int(right)), True)
+
+    def add_non_matches(self, kind: ElementKind, pairs: np.ndarray | list[tuple[int, int]]) -> None:
+        for left, right in np.asarray(pairs, dtype=np.int64).reshape(-1, 2):
+            self.labels.add(kind, (int(left), int(right)), False)
+
+    # ---------------------------------------------------------------- helpers
+    def _vocab_sizes(self, kind: ElementKind) -> tuple[int, int]:
+        if kind is ElementKind.ENTITY:
+            return self.model.kg1.num_entities, self.model.kg2.num_entities
+        if kind is ElementKind.RELATION:
+            return self.model.kg1.num_relations, self.model.kg2.num_relations
+        return self.model.kg1.num_classes, self.model.kg2.num_classes
+
+    def _hard_negatives(self, matches: np.ndarray, num_negatives: int) -> np.ndarray:
+        """Entity negatives drawn from each entity's most similar counterparts.
+
+        Hard sample mining sharpens the mapping matrix far more than uniform
+        corruption (the role Dual-AMN attributes to normalised hard samples);
+        the candidate lists come from the last similarity snapshot.
+        """
+        if self._hard_candidates is None:
+            return np.empty((0, 2), dtype=np.int64)
+        top_for_left, top_for_right = self._hard_candidates
+        negatives = []
+        pool = top_for_left.shape[1]
+        for left, right in matches:
+            for _ in range(num_negatives):
+                if self.rng.random() < 0.5:
+                    candidate = int(top_for_left[left, int(self.rng.integers(0, pool))])
+                    if candidate == right:
+                        candidate = (candidate + 1) % self.model.kg2.num_entities
+                    negatives.append((left, candidate))
+                else:
+                    candidate = int(top_for_right[right, int(self.rng.integers(0, pool))])
+                    if candidate == left:
+                        candidate = (candidate + 1) % self.model.kg1.num_entities
+                    negatives.append((candidate, right))
+        return np.asarray(negatives, dtype=np.int64).reshape(-1, 2)
+
+    def _match_loss(self, kind: ElementKind, matches: np.ndarray, focal: bool):
+        """Pairwise softmax (or focal) loss over matches and sampled corruptions."""
+        num_left, num_right = self._vocab_sizes(kind)
+        num_hard = 0
+        if kind is ElementKind.ENTITY and self._hard_candidates is not None:
+            num_hard = int(round(self.config.num_negatives * self.config.hard_negative_fraction))
+        num_random = self.config.num_negatives - num_hard
+        negative_parts = []
+        positive_parts = []
+        if num_random > 0:
+            negative_parts.append(
+                corrupt_match_pairs(matches, num_left, num_right, self.rng, num_random)
+            )
+            positive_parts.append(np.repeat(matches, num_random, axis=0))
+        if num_hard > 0:
+            negative_parts.append(self._hard_negatives(matches, num_hard))
+            positive_parts.append(np.repeat(matches, num_hard, axis=0))
+        negatives = np.concatenate(negative_parts, axis=0)
+        positives = np.concatenate(positive_parts, axis=0)
+        pos_scores = self.model.pair_similarity(kind, positives)
+        neg_scores = self.model.pair_similarity(kind, negatives)
+        if focal:
+            return F.focal_pairwise_softmax_loss(pos_scores, neg_scores, self.config.focal_gamma)
+        return F.pairwise_softmax_loss(pos_scores, neg_scores)
+
+    def _non_match_loss(self, kind: ElementKind, non_matches: np.ndarray):
+        """Hinge loss pushing labelled non-matches below ``non_match_margin``."""
+        scores = self.model.pair_similarity(kind, non_matches)
+        return (scores - self.config.non_match_margin).clamp_min(0.0).mean()
+
+    def _entity_anchor_loss(self):
+        """L2 anchor loss ``||A_ent e − e'||²`` on labelled and mined entity matches.
+
+        The cosine-based softmax loss ranks candidates but does not force the
+        mapped embedding to coincide with its counterpart; translation-style
+        propagation (seed match + matched relation ⇒ neighbour match) needs
+        that coincidence, so the anchors are pinned in L2 as MTransE does.
+        """
+        pairs = list(self.labels.matches[ElementKind.ENTITY])
+        pairs += [(m.left, m.right) for m in self._semi[ElementKind.ENTITY]]
+        if not pairs:
+            return None
+        array = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        e1 = self.model.model1.entity_output(array[:, 0])
+        e2 = self.model.model2.entity_output(array[:, 1])
+        diff = (e1 @ self.model.map_entity) - e2
+        return (diff * diff).sum(axis=1).mean() * self.config.entity_anchor_weight
+
+    def _relation_translation_loss(self):
+        """Align relation representations through the *entity* mapping matrix.
+
+        For TransE-style decoders an entity match propagates to its neighbours
+        only if ``A_ent`` also carries relation translation vectors across the
+        KGs (``A_ent(e + r) ≈ e' + r'`` requires ``A_ent r ≈ r'``).  This term
+        applies that constraint to every labelled or mined relation match and
+        is the structural bridge that lets seed entity matches generalise.
+        """
+        pairs = list(self.labels.matches[ElementKind.RELATION])
+        pairs += [(m.left, m.right) for m in self._semi[ElementKind.RELATION]]
+        if not pairs:
+            return None
+        array = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        r1 = self.model.model1.relation_output(array[:, 0])
+        r2 = self.model.model2.relation_output(array[:, 1])
+        sims = F.cosine_similarity_rows(r1 @ self.model.map_entity, r2)
+        return (1.0 - sims).mean()
+
+    def _semi_loss(self, kind: ElementKind):
+        mined = self._semi[kind]
+        if not mined:
+            return None
+        pairs = np.asarray([(m.left, m.right) for m in mined], dtype=np.int64)
+        soft_labels = np.asarray([m.soft_label for m in mined])
+        similarities = self.model.pair_similarity(kind, pairs)
+        return F.soft_label_loss(similarities, soft_labels)
+
+    def _embedding_loss(self):
+        """A couple of margin-loss batches per KG to keep structure intact."""
+        losses = []
+        for kg, emb_model, sampler in (
+            (self.model.kg1, self.model.model1, self._sampler1),
+            (self.model.kg2, self.model.model2, self._sampler2),
+        ):
+            triples = kg.triple_array
+            if triples.size == 0:
+                continue
+            idx = self.rng.integers(0, triples.shape[0], size=min(self.config.embedding_batch_size, triples.shape[0]))
+            batch = triples[idx]
+            negatives = sampler.corrupt_tails(batch, 1)
+            pos = emb_model.triple_scores(batch)
+            neg = emb_model.triple_scores(negatives)
+            losses.append(F.margin_ranking_loss(pos, neg, self.config.embedding_margin))
+        if not losses:
+            return None
+        total = losses[0]
+        for loss in losses[1:]:
+            total = total + loss
+        return total
+
+    def _total_loss(self, focal_kinds: set[ElementKind] | None = None):
+        """Sum of all loss terms for one optimisation step (None when no labels)."""
+        focal_kinds = focal_kinds or set()
+        terms = []
+        for kind in _KINDS:
+            matches = self.labels.match_array(kind)
+            if matches.size:
+                terms.append(self._match_loss(kind, matches, focal=kind in focal_kinds))
+            non_matches = self.labels.non_match_array(kind)
+            if non_matches.size:
+                terms.append(self._non_match_loss(kind, non_matches))
+            if self.config.semi_supervised:
+                semi = self._semi_loss(kind)
+                if semi is not None:
+                    terms.append(semi)
+        if self.config.entity_anchor_weight > 0:
+            anchor = self._entity_anchor_loss()
+            if anchor is not None:
+                terms.append(anchor)
+        if self.config.align_relations_via_entity_map:
+            translation = self._relation_translation_loss()
+            if translation is not None:
+                terms.append(translation)
+        if self.config.embedding_batches_per_round > 0:
+            for _ in range(self.config.embedding_batches_per_round):
+                emb = self._embedding_loss()
+                if emb is not None:
+                    terms.append(emb)
+        if not terms:
+            return None
+        total = terms[0]
+        for term in terms[1:]:
+            total = total + term
+        return total
+
+    # ----------------------------------------------------------- semi mining
+    def _current_entity_landmarks(self) -> np.ndarray:
+        """Labelled entity matches plus mined potential matches, as index pairs."""
+        pairs = list(self.labels.matches[ElementKind.ENTITY])
+        pairs += [(m.left, m.right) for m in self._semi[ElementKind.ENTITY]]
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(sorted(set(pairs)), dtype=np.int64)
+
+    def _refresh_round_state(self) -> None:
+        """Refresh landmarks, statistics, hard negatives and semi-supervision."""
+        self.model.set_landmarks(self._current_entity_landmarks())
+        self.model.refresh_statistics()
+        self._refresh_hard_candidates(self.model.entity_similarity_matrix())
+        if self.config.semi_supervised:
+            self._refresh_semi_supervision()
+            self.model.set_landmarks(self._current_entity_landmarks())
+
+    def _refresh_hard_candidates(self, entity_similarity: np.ndarray) -> None:
+        """Cache each entity's most similar counterparts for hard negative mining."""
+        pool = min(self.config.hard_negative_pool, max(entity_similarity.shape[1] - 1, 1))
+        if entity_similarity.size == 0 or pool <= 0 or self.config.hard_negative_fraction == 0:
+            self._hard_candidates = None
+            return
+        top_for_left = np.argsort(-entity_similarity, axis=1)[:, :pool]
+        top_for_right = np.argsort(-entity_similarity.T, axis=1)[:, :pool]
+        self._hard_candidates = (top_for_left, top_for_right)
+
+    def _refresh_semi_supervision(self) -> None:
+        """Mine potential matches above ``τ`` for every element kind."""
+        for kind in _KINDS:
+            sim = self.model.similarity_matrix(kind)
+            labelled = self.labels.labelled_pairs(kind)
+            matched_left = {left for left, _ in self.labels.matches[kind]}
+            matched_right = {right for _, right in self.labels.matches[kind]}
+            self._semi[kind] = mine_potential_matches(
+                sim,
+                threshold=self.config.semi_threshold,
+                exclude=labelled,
+                exclude_left=matched_left,
+                exclude_right=matched_right,
+                max_candidates=self.config.semi_max_per_kind,
+            )
+
+    # ------------------------------------------------------------------ train
+    def train(self) -> list[float]:
+        """Run the configured number of rounds; returns the loss history."""
+        for round_idx in range(self.config.rounds):
+            self._refresh_round_state()
+            for _ in range(self.config.epochs_per_round):
+                loss = self._step()
+                if loss is not None:
+                    self.loss_history.append(loss)
+            logger.debug(
+                "alignment round %d: loss=%.4f labels=%d",
+                round_idx,
+                self.loss_history[-1] if self.loss_history else float("nan"),
+                self.labels.num_labels(),
+            )
+        return self.loss_history
+
+    def _step(self, focal_kinds: set[ElementKind] | None = None) -> float | None:
+        self.optimizer.zero_grad()
+        loss = self._total_loss(focal_kinds)
+        if loss is None:
+            return None
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()
+
+    def fine_tune(
+        self,
+        new_matches: dict[ElementKind, list[tuple[int, int]]] | None = None,
+        new_non_matches: dict[ElementKind, list[tuple[int, int]]] | None = None,
+        epochs: int = 10,
+        refresh: bool = True,
+    ) -> list[float]:
+        """Fine-tune after new labels arrive (focal loss on the affected kinds)."""
+        focal_kinds: set[ElementKind] = set()
+        for kind, pairs in (new_matches or {}).items():
+            if pairs:
+                self.add_matches(kind, pairs)
+                focal_kinds.add(kind)
+        for kind, pairs in (new_non_matches or {}).items():
+            if pairs:
+                self.add_non_matches(kind, pairs)
+        if refresh:
+            self._refresh_round_state()
+        history = []
+        for _ in range(epochs):
+            loss = self._step(focal_kinds)
+            if loss is not None:
+                history.append(loss)
+        self.loss_history.extend(history)
+        return history

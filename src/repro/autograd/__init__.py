@@ -1,0 +1,18 @@
+"""A small reverse-mode automatic-differentiation engine on NumPy arrays.
+
+This package replaces PyTorch for this reproduction.  It provides a
+:class:`~repro.autograd.tensor.Tensor` with the operations needed by the
+paper's models — dense linear algebra, embedding gathers, scatter-adds for
+graph message passing, norms, cosine similarities and softmax losses — and a
+``backward()`` that accumulates gradients through the recorded computation
+graph.
+
+The engine is intentionally minimal: no views/in-place aliasing semantics, no
+GPU, eager execution only.  That is all the DAAKG models need, and it keeps
+gradients easy to verify against finite differences in the test-suite.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, tensor
+from repro.autograd import functional
+
+__all__ = ["Tensor", "functional", "no_grad", "tensor"]

@@ -1,0 +1,55 @@
+"""Baseline alignment methods used in the comparison experiments (Table 3/4).
+
+One representative per family of competitors:
+
+* :class:`~repro.baselines.paris.PARIS` — the probabilistic, training-free
+  aligner of instances, relations and classes,
+* :class:`~repro.baselines.embedding.MTransE` — translation embeddings plus a
+  linear mapping, no schema modelling, no semi-supervision,
+* :class:`~repro.baselines.embedding.GCNAlign` — GNN embeddings with shared
+  weights, structure only,
+* :class:`~repro.baselines.embedding.BootEA` — translation embeddings with
+  bootstrapped (semi-supervised) entity matches,
+* :class:`~repro.baselines.lexical.LexicalMatcher` — character n-gram name
+  matching, standing in for the BERT/attribute baselines (BERTMap, AttrE,
+  MultiKE).
+
+All baselines implement ``fit(pair)`` / ``evaluate()`` with the same metric
+outputs as :class:`repro.core.DAAKG`, so the benchmark harness treats them
+uniformly.
+"""
+
+from repro.baselines.base import AlignmentBaseline
+from repro.baselines.paris import PARIS, ParisConfig
+from repro.baselines.embedding import BootEA, EmbeddingBaselineConfig, GCNAlign, MTransE
+from repro.baselines.lexical import LexicalMatcher
+
+BASELINE_REGISTRY = {
+    "paris": PARIS,
+    "mtranse": MTransE,
+    "gcn-align": GCNAlign,
+    "bootea": BootEA,
+    "lexical": LexicalMatcher,
+}
+
+
+def create_baseline(name: str, **kwargs) -> AlignmentBaseline:
+    """Instantiate a registered baseline by name (case-insensitive)."""
+    key = name.lower()
+    if key not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown baseline {name!r}; available: {sorted(BASELINE_REGISTRY)}")
+    return BASELINE_REGISTRY[key](**kwargs)
+
+
+__all__ = [
+    "AlignmentBaseline",
+    "BASELINE_REGISTRY",
+    "BootEA",
+    "EmbeddingBaselineConfig",
+    "GCNAlign",
+    "LexicalMatcher",
+    "MTransE",
+    "PARIS",
+    "ParisConfig",
+    "create_baseline",
+]

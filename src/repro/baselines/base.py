@@ -1,0 +1,53 @@
+"""Common interface of baseline aligners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alignment.evaluation import AlignmentScores, evaluate_alignment
+from repro.kg.pair import AlignedKGPair
+from repro.utils.timer import Timer
+
+
+class AlignmentBaseline:
+    """A method that produces similarity matrices for entities, relations and classes."""
+
+    name = "baseline"
+
+    def __init__(self) -> None:
+        self.pair: AlignedKGPair | None = None
+        self.training_time = Timer()
+
+    # ------------------------------------------------------------------- API
+    def fit(self, pair: AlignedKGPair) -> "AlignmentBaseline":
+        """Train (or simply prepare) the baseline on a dataset."""
+        raise NotImplementedError
+
+    def entity_similarity_matrix(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def relation_similarity_matrix(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def class_similarity_matrix(self) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, test_only: bool = True) -> dict[str, AlignmentScores]:
+        """Same metric dictionary as :meth:`repro.core.DAAKG.evaluate`."""
+        if self.pair is None:
+            raise RuntimeError(f"{self.name} has not been fitted")
+        entity_pairs = (
+            self.pair.entity_match_ids(self.pair.test_entity_pairs)
+            if test_only and self.pair.test_entity_pairs
+            else self.pair.entity_match_ids()
+        )
+        return {
+            "entity": evaluate_alignment(self.entity_similarity_matrix(), entity_pairs),
+            "relation": evaluate_alignment(
+                self.relation_similarity_matrix(), self.pair.relation_match_ids()
+            ),
+            "class": evaluate_alignment(
+                self.class_similarity_matrix(), self.pair.class_match_ids()
+            ),
+        }

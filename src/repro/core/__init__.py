@@ -1,0 +1,12 @@
+"""The DAAKG end-to-end pipeline (the paper's primary contribution, assembled).
+
+:class:`~repro.core.daakg.DAAKG` wires together the per-KG embedding models,
+the entity-class scorers, the joint alignment model with semi-supervised
+training, the calibrated probabilities, the inference-power estimator and the
+batch active-learning loop, behind a small configuration object.
+"""
+
+from repro.core.config import DAAKGConfig
+from repro.core.daakg import DAAKG
+
+__all__ = ["DAAKG", "DAAKGConfig"]

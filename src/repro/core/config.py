@@ -1,0 +1,68 @@
+"""Configuration of the DAAKG pipeline.
+
+Defaults follow Sect. 7.1 of the paper where they survive the down-scaling of
+the datasets (see DESIGN.md §4): similarity threshold τ, inference-power
+threshold κ, partition threshold ρ, focal γ and calibration temperatures keep
+the paper's values; embedding dimensions and epoch counts are scaled to the
+NumPy substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alignment.calibration import CalibrationConfig
+from repro.alignment.trainer import AlignmentTrainingConfig
+from repro.embedding.trainer import EmbeddingTrainingConfig
+from repro.inference.power import InferencePowerConfig
+from repro.active.pool import PoolConfig
+
+
+@dataclass(frozen=True)
+class DAAKGConfig:
+    """All knobs of the DAAKG pipeline."""
+
+    base_model: str = "compgcn"
+    entity_dim: int = 32
+    class_dim: int = 8
+    share_gnn_weights: bool = True
+    pretrain: EmbeddingTrainingConfig = EmbeddingTrainingConfig(epochs=8)
+    alignment: AlignmentTrainingConfig = AlignmentTrainingConfig(
+        rounds=5, epochs_per_round=30, learning_rate=0.03, num_negatives=10,
+        embedding_batches_per_round=4, embedding_batch_size=512,
+    )
+    calibration: CalibrationConfig = CalibrationConfig()
+    inference: InferencePowerConfig = InferencePowerConfig()
+    pool: PoolConfig = PoolConfig()
+    # Ablation switches (Table 5)
+    use_class_embeddings: bool = True
+    use_mean_embeddings: bool = True
+    use_semi_supervision: bool = True
+    use_structural_channel: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_model.lower() not in ("transe", "rotate", "compgcn"):
+            raise ValueError("base_model must be one of transe, rotate, compgcn")
+        if self.entity_dim <= 0 or self.class_dim <= 0:
+            raise ValueError("embedding dimensions must be positive")
+
+    def with_ablation(self, name: str) -> "DAAKGConfig":
+        """Return a copy with one named component switched off.
+
+        Recognised names mirror Table 5: ``"class_embeddings"``,
+        ``"mean_embeddings"`` and ``"semi_supervision"``; ``"full"`` returns
+        the configuration unchanged.
+        """
+        from dataclasses import replace
+
+        key = name.lower()
+        if key in ("full", "none"):
+            return self
+        if key in ("class_embeddings", "w/o class embeddings"):
+            return replace(self, use_class_embeddings=False)
+        if key in ("mean_embeddings", "w/o mean embeddings"):
+            return replace(self, use_mean_embeddings=False)
+        if key in ("semi_supervision", "w/o semi-supervision"):
+            return replace(self, use_semi_supervision=False)
+        raise ValueError(f"unknown ablation {name!r}")

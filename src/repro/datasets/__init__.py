@@ -1,0 +1,37 @@
+"""Benchmark datasets.
+
+The paper evaluates on the OpenEA benchmark (samples of DBpedia, Wikidata,
+YAGO and multilingual DBpedia).  Those dumps are not available offline, so
+this package provides a *synthetic OpenEA-style generator*: a shared "world"
+KG is sampled first, then two heterogeneous views of it are derived (renamed
+schemata, dropped triples, dangling entities), yielding gold entity, relation
+and class matches.  The four dataset configurations ``D-W``, ``D-Y``,
+``EN-DE`` and ``EN-FR`` mirror the relative schema sizes of the paper's
+Table 2 at a reduced scale.
+
+Real OpenEA data can be used instead through
+:func:`repro.kg.load_openea_directory`; the rest of the library is agnostic to
+where the :class:`~repro.kg.pair.AlignedKGPair` came from.
+"""
+
+from repro.datasets.world import WorldConfig, WorldKG, generate_world
+from repro.datasets.views import ViewConfig, derive_view, derive_aligned_pair
+from repro.datasets.benchmark import (
+    BENCHMARK_CONFIGS,
+    BenchmarkConfig,
+    available_benchmarks,
+    make_benchmark,
+)
+
+__all__ = [
+    "BENCHMARK_CONFIGS",
+    "BenchmarkConfig",
+    "ViewConfig",
+    "WorldConfig",
+    "WorldKG",
+    "available_benchmarks",
+    "derive_aligned_pair",
+    "derive_view",
+    "generate_world",
+    "make_benchmark",
+]

@@ -1,0 +1,172 @@
+"""Deriving two heterogeneous KG views from a world KG.
+
+Each view renames the world's schema into its own namespace (so relation and
+class names carry no trivial string overlap, like DBpedia vs. Wikidata), keeps
+only a subset of relations/classes (producing dangling schema elements), drops
+a fraction of triples and type assertions (structural heterogeneity), and can
+drop a fraction of entities entirely (the paper removes 30% of KG2's entities
+to create dangling entities).
+
+Gold matches are the world elements that survive in both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.world import WorldKG
+from repro.kg.elements import ElementKind, Triple, TypeTriple
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pair import AlignedKGPair, GoldAlignment
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class ViewConfig:
+    """Parameters controlling how one view is carved out of the world KG."""
+
+    prefix: str
+    entity_keep_fraction: float = 1.0
+    relation_keep_fraction: float = 1.0
+    class_keep_fraction: float = 1.0
+    triple_keep_fraction: float = 0.85
+    type_keep_fraction: float = 0.9
+    rename_entities: bool = True
+    obfuscate_names: bool = False
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "entity_keep_fraction",
+            "relation_keep_fraction",
+            "class_keep_fraction",
+            "triple_keep_fraction",
+            "type_keep_fraction",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{field_name} must be in (0, 1], got {value}")
+
+
+def _keep_subset(items: list[str], fraction: float, rng: np.random.Generator) -> list[str]:
+    n_keep = max(1, int(round(fraction * len(items))))
+    if n_keep >= len(items):
+        return list(items)
+    chosen = rng.choice(len(items), size=n_keep, replace=False)
+    chosen_set = {int(i) for i in chosen}
+    return [item for i, item in enumerate(items) if i in chosen_set]
+
+
+def derive_view(
+    world: WorldKG, config: ViewConfig, seed: RandomState = None
+) -> tuple[KnowledgeGraph, dict[str, str], dict[str, str], dict[str, str]]:
+    """Derive one KG view.
+
+    Returns the view KG and three maps from world names to view names for
+    entities, relations and classes (only for elements kept in this view).
+    """
+    rng = ensure_rng(seed)
+    kg = world.kg
+
+    kept_entities = _keep_subset(kg.entities, config.entity_keep_fraction, rng)
+    kept_relations = _keep_subset(kg.relations, config.relation_keep_fraction, rng)
+    kept_classes = _keep_subset(kg.classes, config.class_keep_fraction, rng)
+    kept_entity_set = set(kept_entities)
+    kept_relation_set = set(kept_relations)
+    kept_class_set = set(kept_classes)
+
+    def local_name(world_name: str) -> str:
+        """The view-local identifier of a world element.
+
+        ``obfuscate_names`` simulates cross-lingual / cross-vocabulary datasets
+        (D-W, EN-DE, EN-FR): names carry no lexical overlap with the other
+        view, so purely lexical matchers get no signal, as in the paper.
+        """
+        if config.obfuscate_names:
+            import hashlib
+
+            digest = hashlib.md5(f"{config.prefix}:{world_name}".encode()).hexdigest()[:10]
+            return digest
+        return world_name
+
+    def ent_name(world_name: str) -> str:
+        if not config.rename_entities:
+            return world_name
+        return f"{config.prefix}:{local_name(world_name)}"
+
+    entity_map = {e: ent_name(e) for e in kept_entities}
+    relation_map = {r: f"{config.prefix}:{local_name(r)}" for r in kept_relations}
+    class_map = {c: f"{config.prefix}:{local_name(c)}" for c in kept_classes}
+
+    triples: list[Triple] = []
+    for t in kg.triples:
+        if t.head not in kept_entity_set or t.tail not in kept_entity_set:
+            continue
+        if t.relation not in kept_relation_set:
+            continue
+        if rng.random() > config.triple_keep_fraction:
+            continue
+        triples.append(Triple(entity_map[t.head], relation_map[t.relation], entity_map[t.tail]))
+
+    type_triples: list[TypeTriple] = []
+    for tt in kg.type_triples:
+        if tt.entity not in kept_entity_set or tt.cls not in kept_class_set:
+            continue
+        if rng.random() > config.type_keep_fraction:
+            continue
+        type_triples.append(TypeTriple(entity_map[tt.entity], class_map[tt.cls]))
+
+    # Drop elements that end up unused (mirrors how OpenEA samples are built:
+    # the vocabularies are exactly what the triples mention).
+    used_entities = {t.head for t in triples} | {t.tail for t in triples}
+    used_entities |= {tt.entity for tt in type_triples}
+    used_relations = {t.relation for t in triples}
+    used_classes = {tt.cls for tt in type_triples}
+
+    view_kg = KnowledgeGraph(
+        name=config.prefix,
+        entities=[entity_map[e] for e in kept_entities if entity_map[e] in used_entities],
+        relations=[relation_map[r] for r in kept_relations if relation_map[r] in used_relations],
+        classes=[class_map[c] for c in kept_classes if class_map[c] in used_classes],
+        triples=triples,
+        type_triples=type_triples,
+    )
+    entity_map = {w: v for w, v in entity_map.items() if v in used_entities}
+    relation_map = {w: v for w, v in relation_map.items() if v in used_relations}
+    class_map = {w: v for w, v in class_map.items() if v in used_classes}
+    return view_kg, entity_map, relation_map, class_map
+
+
+def derive_aligned_pair(
+    world: WorldKG,
+    name: str,
+    view1: ViewConfig,
+    view2: ViewConfig,
+    seed: RandomState = None,
+) -> AlignedKGPair:
+    """Derive an :class:`AlignedKGPair` (two views + gold matches) from a world KG."""
+    rng = ensure_rng(seed)
+    seed1 = int(rng.integers(0, 2**31 - 1))
+    seed2 = int(rng.integers(0, 2**31 - 1))
+    kg1, ent_map1, rel_map1, cls_map1 = derive_view(world, view1, seed1)
+    kg2, ent_map2, rel_map2, cls_map2 = derive_view(world, view2, seed2)
+
+    entity_pairs = [
+        (ent_map1[w], ent_map2[w]) for w in ent_map1 if w in ent_map2
+    ]
+    relation_pairs = [
+        (rel_map1[w], rel_map2[w]) for w in rel_map1 if w in rel_map2
+    ]
+    class_pairs = [
+        (cls_map1[w], cls_map2[w]) for w in cls_map1 if w in cls_map2
+    ]
+
+    return AlignedKGPair(
+        name=name,
+        kg1=kg1,
+        kg2=kg2,
+        entity_alignment=GoldAlignment(ElementKind.ENTITY, entity_pairs),
+        relation_alignment=GoldAlignment(ElementKind.RELATION, relation_pairs),
+        class_alignment=GoldAlignment(ElementKind.CLASS, class_pairs),
+    )

@@ -1,0 +1,177 @@
+"""Synthetic "world" KG generation.
+
+The generator produces a single coherent knowledge graph with the structural
+properties the DAAKG method relies on:
+
+* a class vocabulary with skewed class sizes (few large classes such as
+  *Person*/*Place*, many small ones), and entities that may belong to several
+  classes (the many-to-one problem of Sect. 4.1),
+* relations with class-typed domains and ranges, so relation usage correlates
+  with entity types (this is what schema signatures exploit),
+* a mix of highly *functional* relations (``birthPlace``-like, at most one
+  object per subject) and multi-valued relations, because functional relations
+  carry most of the structure-based inference power (Example 1.1),
+* skewed entity popularity, so some entities are hubs (``United States``-like)
+  and most are in the long tail.
+
+Two heterogeneous views of this world (see :mod:`repro.datasets.views`) play
+the role of the two KGs to align.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kg.elements import Triple, TypeTriple
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Parameters of the synthetic world KG."""
+
+    num_entities: int = 1000
+    num_classes: int = 20
+    num_relations: int = 30
+    mean_out_degree: float = 4.0
+    max_classes_per_entity: int = 3
+    functional_relation_fraction: float = 0.4
+    popularity_exponent: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_entities <= 0 or self.num_classes <= 0 or self.num_relations <= 0:
+            raise ValueError("world sizes must be positive")
+        if not 0.0 <= self.functional_relation_fraction <= 1.0:
+            raise ValueError("functional_relation_fraction must be in [0, 1]")
+        if self.mean_out_degree <= 0:
+            raise ValueError("mean_out_degree must be positive")
+
+
+@dataclass
+class WorldKG:
+    """The generated world: a KG plus the schema metadata used to generate it."""
+
+    kg: KnowledgeGraph
+    config: WorldConfig
+    relation_domains: dict[str, str] = field(default_factory=dict)
+    relation_ranges: dict[str, str] = field(default_factory=dict)
+    functional_relations: set[str] = field(default_factory=set)
+    entity_classes: dict[str, list[str]] = field(default_factory=dict)
+
+
+def _zipf_probabilities(n: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_world(config: WorldConfig | None = None, seed: RandomState = None) -> WorldKG:
+    """Generate a :class:`WorldKG` according to ``config``.
+
+    ``seed`` overrides ``config.seed`` when provided, which lets benchmarks
+    reuse one config with several random worlds.
+    """
+    config = config or WorldConfig()
+    rng = ensure_rng(config.seed if seed is None else seed)
+
+    entities = [f"ent_{i:05d}" for i in range(config.num_entities)]
+    classes = [f"cls_{i:03d}" for i in range(config.num_classes)]
+    relations = [f"rel_{i:03d}" for i in range(config.num_relations)]
+
+    # ------------------------------------------------------------- class sizes
+    class_probs = _zipf_probabilities(config.num_classes, 1.2)
+    entity_classes: dict[str, list[str]] = {}
+    class_members: dict[str, list[str]] = {c: [] for c in classes}
+    for e in entities:
+        n_classes = int(rng.integers(1, config.max_classes_per_entity + 1))
+        chosen = rng.choice(
+            config.num_classes, size=min(n_classes, config.num_classes), replace=False, p=class_probs
+        )
+        names = [classes[int(c)] for c in chosen]
+        entity_classes[e] = names
+        for c in names:
+            class_members[c].append(e)
+    # Guarantee every class has at least one member so that classes are alignable.
+    for ci, c in enumerate(classes):
+        if not class_members[c]:
+            e = entities[int(rng.integers(0, config.num_entities))]
+            class_members[c].append(e)
+            entity_classes[e].append(c)
+
+    # --------------------------------------------------------- relation schema
+    relation_domains: dict[str, str] = {}
+    relation_ranges: dict[str, str] = {}
+    functional: set[str] = set()
+    for i, r in enumerate(relations):
+        relation_domains[r] = classes[int(rng.choice(config.num_classes, p=class_probs))]
+        relation_ranges[r] = classes[int(rng.choice(config.num_classes, p=class_probs))]
+        if rng.random() < config.functional_relation_fraction:
+            functional.add(r)
+
+    # ------------------------------------------------------------------ triples
+    entity_popularity = _zipf_probabilities(config.num_entities, config.popularity_exponent)
+    # Shuffle popularity so hub entities are spread across classes.
+    entity_popularity = entity_popularity[rng.permutation(config.num_entities)]
+
+    relations_by_domain: dict[str, list[str]] = {c: [] for c in classes}
+    for r in relations:
+        relations_by_domain[relation_domains[r]].append(r)
+
+    triples: list[Triple] = []
+    seen: set[tuple[str, str, str]] = set()
+    functional_used: set[tuple[str, str]] = set()
+    for e in entities:
+        out_degree = int(rng.poisson(config.mean_out_degree))
+        candidate_relations: list[str] = []
+        for c in entity_classes[e]:
+            candidate_relations.extend(relations_by_domain[c])
+        if not candidate_relations:
+            candidate_relations = relations
+        for _ in range(out_degree):
+            r = candidate_relations[int(rng.integers(0, len(candidate_relations)))]
+            if r in functional and (e, r) in functional_used:
+                continue
+            range_class = relation_ranges[r]
+            members = class_members[range_class]
+            if members:
+                # weight members by global popularity so hubs attract more edges
+                weights = np.array(
+                    [entity_popularity[int(m.split("_")[1])] for m in members], dtype=float
+                )
+                weights = weights / weights.sum()
+                tail = members[int(rng.choice(len(members), p=weights))]
+            else:
+                tail = entities[int(rng.choice(config.num_entities, p=entity_popularity))]
+            if tail == e:
+                continue
+            key = (e, r, tail)
+            if key in seen:
+                continue
+            seen.add(key)
+            functional_used.add((e, r))
+            triples.append(Triple(e, r, tail))
+
+    type_triples = [
+        TypeTriple(e, c) for e in entities for c in entity_classes[e]
+    ]
+
+    kg = KnowledgeGraph(
+        name="world",
+        entities=entities,
+        relations=relations,
+        classes=classes,
+        triples=triples,
+        type_triples=type_triples,
+    )
+    return WorldKG(
+        kg=kg,
+        config=config,
+        relation_domains=relation_domains,
+        relation_ranges=relation_ranges,
+        functional_relations=functional,
+        entity_classes=entity_classes,
+    )

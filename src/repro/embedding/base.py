@@ -1,0 +1,173 @@
+"""The shared interface of entity-relation embedding models.
+
+Downstream components rely on three views of a model:
+
+* **training view** — :meth:`KGEmbeddingModel.triple_scores` gives
+  differentiable scores ``f_er`` for (possibly corrupted) triples, used with
+  the margin loss of Eq. 1;
+* **alignment view** — :meth:`entity_output` / :meth:`relation_output` give
+  differentiable *output representations* (for GNN models these aggregate the
+  neighbourhood), which the joint alignment model maps across KGs;
+* **inference view** — :meth:`solve_tail` approximates the tail embedding that
+  a (head, relation) pair determines, together with an error bound ``d``
+  (Eq. 13/14).  TransE overrides this with the exact closed form (``d = 0``);
+  other models use the generic sampled gradient-descent solver, which is what
+  makes their bounds looser — the effect Table 6 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.kg.graph import KnowledgeGraph
+from repro.nn.module import Module
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class TailSolution:
+    """Result of solving ``f_er(h, r, t) = 0`` for the tail embedding.
+
+    ``translation`` is the difference vector ``r̃ = ẽ_t − e_h`` of Eq. 13 and
+    ``bound`` the radius ``d`` such that any optimum tail lies within
+    ``bound`` of ``e_h + translation``.
+    """
+
+    translation: np.ndarray
+    bound: float
+
+
+class KGEmbeddingModel(Module):
+    """Abstract base class of entity-relation embedding models for one KG."""
+
+    def __init__(self, kg: KnowledgeGraph, dim: int, rng: RandomState = None) -> None:
+        if dim <= 0:
+            raise ValueError("embedding dimension must be positive")
+        self.kg = kg
+        self.dim = dim
+        self.rng = ensure_rng(rng)
+
+    # --------------------------------------------------------------- training
+    def triple_scores(self, triples: np.ndarray) -> Tensor:
+        """Differentiable plausibility scores ``f_er`` for an ``(n, 3)`` index array.
+
+        Lower is better; observed triples should score close to 0.
+        """
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- alignment
+    def entity_output(self, indices: np.ndarray) -> Tensor:
+        """Differentiable output representations of the given entities."""
+        raise NotImplementedError
+
+    def relation_output(self, indices: np.ndarray) -> Tensor:
+        """Differentiable output representations of the given relations."""
+        raise NotImplementedError
+
+    def all_entity_outputs(self) -> Tensor:
+        """Output representations of every entity, shape ``(|E|, dim)``."""
+        return self.entity_output(np.arange(self.kg.num_entities))
+
+    def all_relation_outputs(self) -> Tensor:
+        """Output representations of every relation, shape ``(|R|, dim)``."""
+        return self.relation_output(np.arange(self.kg.num_relations))
+
+    # ----------------------------------------------------------- numpy access
+    def entity_matrix(self) -> np.ndarray:
+        """Detached entity output representations (recomputed on each call)."""
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            return self.all_entity_outputs().numpy().copy()
+
+    def relation_matrix(self) -> np.ndarray:
+        """Detached relation output representations."""
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            return self.all_relation_outputs().numpy().copy()
+
+    # ---------------------------------------------------------- inference view
+    def score_np(self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray) -> float:
+        """``f_er`` evaluated on raw numpy output-space embeddings.
+
+        ``relation_vec`` is a row of :meth:`relation_matrix`; the caller caches
+        those matrices so this never triggers a model forward pass.
+        """
+        raise NotImplementedError
+
+    def score_np_grad_tail(
+        self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray
+    ) -> np.ndarray:
+        """Gradient of :meth:`score_np` with respect to the tail embedding.
+
+        The default implementation uses central finite differences; subclasses
+        with a closed form should override for speed.
+        """
+        eps = 1e-4
+        grad = np.zeros_like(tail)
+        for i in range(tail.shape[0]):
+            plus = tail.copy()
+            minus = tail.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            grad[i] = (
+                self.score_np(head, relation_vec, plus) - self.score_np(head, relation_vec, minus)
+            ) / (2 * eps)
+        return grad
+
+    def solve_tail(
+        self,
+        head_embedding: np.ndarray,
+        relation_vec: np.ndarray,
+        entity_matrix: np.ndarray,
+        num_samples: int = 4,
+        num_steps: int = 25,
+        step_size: float = 0.1,
+        rng: RandomState = None,
+    ) -> TailSolution:
+        """Approximate the tail embedding determined by ``(head, relation)``.
+
+        Generic sampled solver (Sect. 5.2): start from ``num_samples`` random
+        entity embeddings, run gradient descent on ``f_er(h, r, ·)``, average
+        the local optima into ``ẽ_t`` and report the largest distance from a
+        local optimum to ``ẽ_t`` as the bound ``d``.
+
+        ``entity_matrix`` is a cached copy of :meth:`entity_matrix` supplied by
+        the caller (the inference-power module snapshots it once per round).
+        """
+        rng = ensure_rng(self.rng if rng is None else rng)
+        solutions = []
+        for _ in range(max(1, num_samples)):
+            start = entity_matrix[int(rng.integers(0, entity_matrix.shape[0]))].copy()
+            current = start
+            for _ in range(num_steps):
+                grad = self.score_np_grad_tail(head_embedding, relation_vec, current)
+                norm = np.linalg.norm(grad)
+                if norm < 1e-9:
+                    break
+                current = current - step_size * grad
+            solutions.append(current)
+        stacked = np.stack(solutions, axis=0)
+        mean_tail = stacked.mean(axis=0)
+        bound = float(np.max(np.linalg.norm(stacked - mean_tail, axis=1))) if len(solutions) > 1 else 0.0
+        return TailSolution(translation=mean_tail - head_embedding, bound=bound)
+
+    def local_relation_embedding(self, head: np.ndarray, tail: np.ndarray) -> np.ndarray:
+        """The relation representation that best explains ``(head, ?, tail)``.
+
+        This is the "local optimum relation embedding" of Eq. 7: for each
+        triple, the relation vector minimising ``f_er(h, r, t)``.  Models with
+        a translational decoder return ``t − h``; RotatE returns the
+        per-coordinate rotation.  The result lives in the same space as
+        :meth:`entity_output`, so mean relation embeddings can be mapped with
+        the entity mapping matrix ``A_ent`` as the paper prescribes.
+        """
+        return tail - head
+
+    # -------------------------------------------------------------- bookkeeping
+    def renormalize(self) -> None:
+        """Optional projection step after an optimiser update (no-op by default)."""

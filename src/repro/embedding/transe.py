@@ -1,0 +1,72 @@
+"""TransE (Bordes et al., 2013): translation-based KG embedding.
+
+``f_er(h, r, t) = ||h + r − t||₂``; observed triples should have near-zero
+scores.  TransE is the model for which the paper's embedding-difference bound
+is exact: given a head and a relation the optimum tail is ``h + r`` with no
+residual, i.e. ``r̃ = r`` and ``d = 0`` (Sect. 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.embedding.base import KGEmbeddingModel, TailSolution
+from repro.kg.graph import KnowledgeGraph
+from repro.nn.layers import Embedding
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class TransE(KGEmbeddingModel):
+    """Translation model: ``h + r ≈ t``."""
+
+    def __init__(self, kg: KnowledgeGraph, dim: int = 32, rng: RandomState = None) -> None:
+        super().__init__(kg, dim, rng)
+        rng = self.rng
+        self.entity_embeddings = Embedding(kg.num_entities, dim, rng=rng, name="entity")
+        self.relation_embeddings = Embedding(max(kg.num_relations, 1), dim, rng=rng, name="relation")
+
+    # --------------------------------------------------------------- training
+    def triple_scores(self, triples: np.ndarray) -> Tensor:
+        triples = np.asarray(triples, dtype=np.int64)
+        h = self.entity_embeddings(triples[:, 0])
+        r = self.relation_embeddings(triples[:, 1])
+        t = self.entity_embeddings(triples[:, 2])
+        return (h + r - t).norm(axis=1)
+
+    # -------------------------------------------------------------- alignment
+    def entity_output(self, indices: np.ndarray) -> Tensor:
+        return self.entity_embeddings(indices)
+
+    def relation_output(self, indices: np.ndarray) -> Tensor:
+        return self.relation_embeddings(indices)
+
+    # ---------------------------------------------------------- inference view
+    def score_np(self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray) -> float:
+        return float(np.linalg.norm(head + relation_vec - tail))
+
+    def score_np_grad_tail(
+        self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray
+    ) -> np.ndarray:
+        diff = tail - (head + relation_vec)
+        norm = np.linalg.norm(diff)
+        if norm < 1e-12:
+            return np.zeros_like(tail)
+        return diff / norm
+
+    def solve_tail(
+        self,
+        head_embedding: np.ndarray,
+        relation_vec: np.ndarray,
+        entity_matrix: np.ndarray,
+        num_samples: int = 4,
+        num_steps: int = 25,
+        step_size: float = 0.1,
+        rng: RandomState = None,
+    ) -> TailSolution:
+        """Exact solution: the optimum tail is ``h + r``, so ``d = 0``."""
+        return TailSolution(translation=np.array(relation_vec, dtype=float, copy=True), bound=0.0)
+
+    # -------------------------------------------------------------- bookkeeping
+    def renormalize(self) -> None:
+        self.entity_embeddings.renormalize()

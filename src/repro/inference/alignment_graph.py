@@ -1,0 +1,142 @@
+"""The alignment graph ``G ×_P G'`` (Sect. 5.1).
+
+Nodes are the element pairs of the pool ``P``; a directed edge
+``(x, x') --(r, r')--> (x'', x''')`` exists when ``(x, r, x'')`` is a triple of
+KG1, ``(x', r', x''')`` is a triple of KG2, and all three pairs belong to the
+pool.  Because the KGs are augmented with inverse relations, each structural
+connection appears in both directions, which is what the path-based inference
+power needs.
+
+The graph also records two auxiliary incidence structures used by the
+gradient-based inference power: which entity pairs instantiate which class
+pairs (via type triples), and which entity pairs are endpoints of edges
+labelled by each relation pair.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.inference.pairs import ElementPair, class_pair, entity_pair, relation_pair
+from repro.kg.elements import ElementKind
+from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class AlignmentEdge:
+    """A directed edge of the alignment graph."""
+
+    source: ElementPair
+    relation: ElementPair
+    target: ElementPair
+
+
+@dataclass
+class AlignmentGraph:
+    """Adjacency view over the element-pair pool."""
+
+    entity_pairs: list[ElementPair] = field(default_factory=list)
+    relation_pairs: list[ElementPair] = field(default_factory=list)
+    class_pairs: list[ElementPair] = field(default_factory=list)
+    edges: list[AlignmentEdge] = field(default_factory=list)
+    out_edges: dict[ElementPair, list[AlignmentEdge]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    in_edges: dict[ElementPair, list[AlignmentEdge]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    edges_by_relation_pair: dict[ElementPair, list[AlignmentEdge]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    class_pair_members: dict[ElementPair, list[ElementPair]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    classes_of_entity_pair: dict[ElementPair, list[ElementPair]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    @property
+    def all_pairs(self) -> list[ElementPair]:
+        return self.entity_pairs + self.relation_pairs + self.class_pairs
+
+    def neighbors(self, pair: ElementPair) -> set[ElementPair]:
+        """Element pairs adjacent to ``pair`` through alignment-graph edges."""
+        result = {edge.target for edge in self.out_edges.get(pair, [])}
+        result |= {edge.source for edge in self.in_edges.get(pair, [])}
+        return result
+
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+
+def build_alignment_graph(
+    kg1: KnowledgeGraph,
+    kg2: KnowledgeGraph,
+    entity_pool: set[tuple[int, int]],
+    relation_pool: set[tuple[int, int]] | None = None,
+    class_pool: set[tuple[int, int]] | None = None,
+) -> AlignmentGraph:
+    """Construct the alignment graph restricted to the pool.
+
+    ``entity_pool`` is a set of (kg1 entity idx, kg2 entity idx) candidates;
+    ``relation_pool`` / ``class_pool`` default to the full cross products, as
+    in the paper (schemas are small enough to keep every pair).
+    """
+    if relation_pool is None:
+        relation_pool = {
+            (r1, r2) for r1 in range(kg1.num_relations) for r2 in range(kg2.num_relations)
+        }
+    if class_pool is None:
+        class_pool = {
+            (c1, c2) for c1 in range(kg1.num_classes) for c2 in range(kg2.num_classes)
+        }
+
+    graph = AlignmentGraph(
+        entity_pairs=[entity_pair(a, b) for a, b in sorted(entity_pool)],
+        relation_pairs=[relation_pair(a, b) for a, b in sorted(relation_pool)],
+        class_pairs=[class_pair(a, b) for a, b in sorted(class_pool)],
+    )
+    entity_pool_set = set(entity_pool)
+    relation_pool_set = set(relation_pool)
+
+    # entity-pair edges: join the out-edges of both sides
+    kg2_out: dict[int, list[tuple[int, int]]] = {
+        e: kg2.out_edges(e) for e in range(kg2.num_entities)
+    }
+    for left, right in entity_pool_set:
+        source = entity_pair(left, right)
+        left_edges = kg1.out_edges(left)
+        right_edges = kg2_out.get(right, [])
+        if not left_edges or not right_edges:
+            continue
+        for r1, t1 in left_edges:
+            for r2, t2 in right_edges:
+                if (r1, r2) not in relation_pool_set:
+                    continue
+                if (t1, t2) not in entity_pool_set:
+                    continue
+                edge = AlignmentEdge(source, relation_pair(r1, r2), entity_pair(t1, t2))
+                graph.edges.append(edge)
+                graph.out_edges[source].append(edge)
+                graph.in_edges[edge.target].append(edge)
+                graph.edges_by_relation_pair[edge.relation].append(edge)
+
+    # class-pair membership links (for gradient-based inference power)
+    class_pool_set = set(class_pool)
+    classes_of_1: dict[int, list[int]] = {
+        e: kg1.classes_of(e) for e in range(kg1.num_entities)
+    }
+    classes_of_2: dict[int, list[int]] = {
+        e: kg2.classes_of(e) for e in range(kg2.num_entities)
+    }
+    for left, right in entity_pool_set:
+        e_pair = entity_pair(left, right)
+        for c1 in classes_of_1.get(left, []):
+            for c2 in classes_of_2.get(right, []):
+                if (c1, c2) not in class_pool_set:
+                    continue
+                c_pair = class_pair(c1, c2)
+                graph.class_pair_members[c_pair].append(e_pair)
+                graph.classes_of_entity_pair[e_pair].append(c_pair)
+    return graph

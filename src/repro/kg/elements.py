@@ -1,0 +1,70 @@
+"""Basic KG element types.
+
+Elements (entities, relations, classes) are referred to by string names at the
+API boundary and by dense integer indexes internally.  The enum
+:class:`ElementKind` tags which namespace an element or element pair lives in;
+it is used throughout the alignment, inference-power and active-learning code
+to mix entity/relation/class pairs in a single pool, as the paper does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ElementKind(str, enum.Enum):
+    """The three element namespaces of a KG ``G = (E, R, C, T)``."""
+
+    ENTITY = "entity"
+    RELATION = "relation"
+    CLASS = "class"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A relation triplet ``(head entity, relation, tail entity)``."""
+
+    head: str
+    relation: str
+    tail: str
+
+    def reversed(self, suffix: str = "^-1") -> "Triple":
+        """The synthetic reverse triplet ``(tail, relation^-1, head)``.
+
+        The paper adds a reverse triplet for every relation triplet so that
+        negative sampling only needs to corrupt tail entities (Sect. 4.1).
+        """
+        return Triple(self.tail, self.relation + suffix, self.head)
+
+    def as_tuple(self) -> tuple[str, str, str]:
+        return (self.head, self.relation, self.tail)
+
+
+@dataclass(frozen=True)
+class TypeTriple:
+    """A type triplet ``(entity, type, class)``."""
+
+    entity: str
+    cls: str
+
+    def as_tuple(self) -> tuple[str, str, str]:
+        return (self.entity, "type", self.cls)
+
+
+INVERSE_SUFFIX = "^-1"
+
+
+def is_inverse_relation(name: str) -> bool:
+    """True if ``name`` denotes a synthetic reverse relation."""
+    return name.endswith(INVERSE_SUFFIX)
+
+
+def base_relation(name: str) -> str:
+    """Strip the inverse suffix, returning the forward relation name."""
+    if is_inverse_relation(name):
+        return name[: -len(INVERSE_SUFFIX)]
+    return name

@@ -1,0 +1,93 @@
+"""Reading and writing KG pairs in the OpenEA on-disk layout.
+
+The OpenEA benchmark (used by the paper) stores each dataset as a directory::
+
+    rel_triples_1   rel_triples_2     # tab-separated (head, relation, tail)
+    attr_triples_1  attr_triples_2    # ignored here (literal attributes)
+    ent_links                         # tab-separated gold entity matches
+
+This module reads/writes that layout, extended with three optional files used
+by this reproduction: ``type_triples_{1,2}`` for entity-class memberships and
+``rel_links`` / ``cls_links`` for gold schema matches.  Datasets produced by
+:mod:`repro.datasets` round-trip through these functions, and a real OpenEA
+download can be loaded with the same call.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.kg.elements import ElementKind
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pair import AlignedKGPair, GoldAlignment
+
+
+def _read_tsv(path: Path, n_cols: int) -> list[tuple[str, ...]]:
+    rows: list[tuple[str, ...]] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != n_cols:
+                raise ValueError(f"{path}:{line_no}: expected {n_cols} columns, got {len(parts)}")
+            rows.append(tuple(parts))
+    return rows
+
+
+def _write_tsv(path: Path, rows: Iterable[tuple[str, ...]]) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        for row in rows:
+            f.write("\t".join(row) + "\n")
+
+
+def _load_kg(directory: Path, side: int, name: str) -> KnowledgeGraph:
+    rel_path = directory / f"rel_triples_{side}"
+    triples = _read_tsv(rel_path, 3) if rel_path.exists() else []
+    type_path = directory / f"type_triples_{side}"
+    type_rows = _read_tsv(type_path, 2) if type_path.exists() else []
+    return KnowledgeGraph.from_triples(name, triples, type_rows)
+
+
+def load_openea_directory(directory: str | os.PathLike, name: str | None = None) -> AlignedKGPair:
+    """Load an OpenEA-style dataset directory into an :class:`AlignedKGPair`."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"dataset directory not found: {directory}")
+    dataset_name = name or directory.name
+    kg1 = _load_kg(directory, 1, f"{dataset_name}-kg1")
+    kg2 = _load_kg(directory, 2, f"{dataset_name}-kg2")
+
+    ent_links_path = directory / "ent_links"
+    ent_pairs = [tuple(r) for r in _read_tsv(ent_links_path, 2)] if ent_links_path.exists() else []
+    rel_links_path = directory / "rel_links"
+    rel_pairs = [tuple(r) for r in _read_tsv(rel_links_path, 2)] if rel_links_path.exists() else []
+    cls_links_path = directory / "cls_links"
+    cls_pairs = [tuple(r) for r in _read_tsv(cls_links_path, 2)] if cls_links_path.exists() else []
+
+    return AlignedKGPair(
+        name=dataset_name,
+        kg1=kg1,
+        kg2=kg2,
+        entity_alignment=GoldAlignment(ElementKind.ENTITY, ent_pairs),
+        relation_alignment=GoldAlignment(ElementKind.RELATION, rel_pairs),
+        class_alignment=GoldAlignment(ElementKind.CLASS, cls_pairs),
+    )
+
+
+def save_openea_directory(pair: AlignedKGPair, directory: str | os.PathLike) -> None:
+    """Write an :class:`AlignedKGPair` in the OpenEA-style layout."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for side, kg in ((1, pair.kg1), (2, pair.kg2)):
+        _write_tsv(directory / f"rel_triples_{side}", (t.as_tuple() for t in kg.triples))
+        _write_tsv(
+            directory / f"type_triples_{side}",
+            ((tt.entity, tt.cls) for tt in kg.type_triples),
+        )
+    _write_tsv(directory / "ent_links", pair.entity_alignment.pairs)
+    _write_tsv(directory / "rel_links", pair.relation_alignment.pairs)
+    _write_tsv(directory / "cls_links", pair.class_alignment.pairs)

@@ -1,0 +1,105 @@
+"""Negative sampling for embedding training.
+
+The paper's loss functions (Eqs. 1, 3, 5, 8) contrast observed triples and
+matches against corrupted ("fake") ones.  Because every KG is augmented with
+reverse triples, only tail entities need to be corrupted for relation triples
+(Sect. 4.1); entity-class triples corrupt the entity side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class NegativeSampler:
+    """Draws corrupted triples / pairs that avoid true positives when possible."""
+
+    def __init__(self, kg: KnowledgeGraph, seed: RandomState = None) -> None:
+        self.kg = kg
+        self.rng = ensure_rng(seed)
+        self._true_tails: dict[tuple[int, int], set[int]] = {}
+        for h, r, t in kg.triple_array:
+            self._true_tails.setdefault((int(h), int(r)), set()).add(int(t))
+        self._true_classes: dict[int, set[int]] = {}
+        self._class_members: dict[int, set[int]] = {}
+        for e, c in kg.type_array:
+            self._true_classes.setdefault(int(e), set()).add(int(c))
+            self._class_members.setdefault(int(c), set()).add(int(e))
+
+    # ----------------------------------------------------------- entity-relation
+    def corrupt_tails(self, triples: np.ndarray, num_negatives: int = 1) -> np.ndarray:
+        """Corrupt the tail of each triple; returns ``(n * num_negatives, 3)``.
+
+        Tails are re-drawn (a bounded number of times) when the corrupted
+        triple happens to be a true triple, which keeps negatives clean on
+        small graphs without risking an infinite loop on dense ones.
+        """
+        if triples.size == 0:
+            return np.empty((0, 3), dtype=np.int64)
+        n = triples.shape[0]
+        repeated = np.repeat(triples, num_negatives, axis=0)
+        negatives = repeated.copy()
+        negatives[:, 2] = self.rng.integers(0, self.kg.num_entities, size=n * num_negatives)
+        for attempt in range(3):
+            bad = np.array(
+                [
+                    negatives[i, 2] in self._true_tails.get((negatives[i, 0], negatives[i, 1]), set())
+                    for i in range(negatives.shape[0])
+                ]
+            )
+            if not bad.any():
+                break
+            negatives[bad, 2] = self.rng.integers(0, self.kg.num_entities, size=int(bad.sum()))
+        return negatives
+
+    # --------------------------------------------------------------- entity-class
+    def corrupt_class_entities(self, type_pairs: np.ndarray, num_negatives: int = 1) -> np.ndarray:
+        """Corrupt the entity of each (entity, class) pair with a non-member entity."""
+        if type_pairs.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        n = type_pairs.shape[0]
+        repeated = np.repeat(type_pairs, num_negatives, axis=0)
+        negatives = repeated.copy()
+        negatives[:, 0] = self.rng.integers(0, self.kg.num_entities, size=n * num_negatives)
+        for attempt in range(3):
+            bad = np.array(
+                [
+                    negatives[i, 0] in self._class_members.get(int(negatives[i, 1]), set())
+                    for i in range(negatives.shape[0])
+                ]
+            )
+            if not bad.any():
+                break
+            negatives[bad, 0] = self.rng.integers(0, self.kg.num_entities, size=int(bad.sum()))
+        return negatives
+
+
+def corrupt_match_pairs(
+    matches: np.ndarray,
+    num_left: int,
+    num_right: int,
+    rng: np.random.Generator,
+    num_negatives: int = 1,
+) -> np.ndarray:
+    """Corrupt either side of match pairs (Eq. 5/8): returns ``(n*k, 2)``.
+
+    For each positive match, one side is chosen uniformly at random and
+    replaced with a random element from the corresponding KG.
+    """
+    if matches.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    n = matches.shape[0]
+    repeated = np.repeat(matches, num_negatives, axis=0)
+    negatives = repeated.copy()
+    total = n * num_negatives
+    flip_left = rng.random(total) < 0.5
+    negatives[flip_left, 0] = rng.integers(0, num_left, size=int(flip_left.sum()))
+    negatives[~flip_left, 1] = rng.integers(0, num_right, size=int((~flip_left).sum()))
+    # avoid negatives identical to their positive source
+    same = (negatives[:, 0] == repeated[:, 0]) & (negatives[:, 1] == repeated[:, 1])
+    if same.any():
+        negatives[same, 0] = (negatives[same, 0] + 1) % max(num_left, 1)
+    return negatives

@@ -1,0 +1,24 @@
+"""Minimal neural-network toolkit on top of :mod:`repro.autograd`.
+
+Provides parameter containers, layers (linear, feed-forward, embedding
+tables), initialisers and optimisers.  This is the substrate the KG embedding
+models and the joint alignment model are written against, in place of PyTorch.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Embedding, FeedForward, Linear
+from repro.nn.init import xavier_uniform, uniform_unit_norm
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Adam",
+    "Embedding",
+    "FeedForward",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "uniform_unit_norm",
+    "xavier_uniform",
+]

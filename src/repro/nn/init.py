@@ -1,0 +1,40 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: RandomState = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for dense weight matrices."""
+    rng = ensure_rng(rng)
+    fan_in = shape[0] if len(shape) > 0 else 1
+    fan_out = shape[1] if len(shape) > 1 else fan_in
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def uniform_unit_norm(shape: tuple[int, ...], rng: RandomState = None) -> np.ndarray:
+    """Rows drawn uniformly then scaled to unit L2 norm.
+
+    Standard initialisation for translational KG embeddings (TransE, RotatE):
+    keeping rows on the unit sphere stabilises the margin loss early on.
+    """
+    rng = ensure_rng(rng)
+    x = rng.uniform(-1.0, 1.0, size=shape)
+    norms = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / np.maximum(norms, 1e-12)
+
+
+def identity_with_noise(size: int, noise: float = 0.01, rng: RandomState = None) -> np.ndarray:
+    """Identity matrix with small uniform noise.
+
+    Used for the alignment mapping matrices ``A_ent, A_rel, A_cls``: starting
+    near the identity means the model initially assumes the two embedding
+    spaces are already roughly aligned, which matches how MTransE-style
+    transform models are trained in practice.
+    """
+    rng = ensure_rng(rng)
+    return np.eye(size) + rng.uniform(-noise, noise, size=(size, size))

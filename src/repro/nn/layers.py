@@ -1,0 +1,99 @@
+"""Layers: embedding tables, linear maps and small feed-forward networks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.init import uniform_unit_norm, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class Embedding(Module):
+    """A lookup table of ``num_embeddings`` vectors of size ``dim``."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: RandomState = None,
+        unit_norm: bool = True,
+        name: str = "embedding",
+    ) -> None:
+        rng = ensure_rng(rng)
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError("num_embeddings and dim must be positive")
+        init = uniform_unit_norm if unit_norm else xavier_uniform
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init((num_embeddings, dim), rng), name=name)
+
+    def __call__(self, indices: np.ndarray) -> Tensor:
+        return self.weight.gather_rows(np.asarray(indices, dtype=np.int64))
+
+    def all(self) -> Tensor:
+        """The full table as a tensor (used for whole-vocabulary scoring)."""
+        return self.weight
+
+    def renormalize(self) -> None:
+        """Project all rows back to the unit sphere (TransE-style constraint)."""
+        norms = np.linalg.norm(self.weight.data, axis=1, keepdims=True)
+        self.weight.data = self.weight.data / np.maximum(norms, 1e-12)
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: RandomState = None,
+        name: str = "linear",
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((in_features, out_features), rng), name=f"{name}.W")
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.b") if bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class FeedForward(Module):
+    """A small multi-layer perceptron with tanh activations.
+
+    Used as the ``FFNN`` of the entity-class scoring function (Eq. 2): it maps
+    entity embeddings from their (possibly non-linear) embedding geometry into
+    a linear space where class membership is a subspace condition.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        num_hidden_layers: int = 1,
+        rng: RandomState = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        if num_hidden_layers < 0:
+            raise ValueError("num_hidden_layers must be >= 0")
+        dims = [in_features] + [hidden_features] * num_hidden_layers + [out_features]
+        self.layers = [
+            Linear(dims[i], dims[i + 1], rng=rng, name=f"ffnn.{i}") for i in range(len(dims) - 1)
+        ]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x
+        for i, layer in enumerate(self.layers):
+            out = layer(out)
+            if i < len(self.layers) - 1:
+                out = out.tanh()
+        return out

@@ -1,0 +1,121 @@
+"""Parameter and Module containers.
+
+A :class:`Parameter` is simply a :class:`~repro.autograd.tensor.Tensor` that
+requires gradients; :class:`Module` recursively collects parameters from its
+attributes, giving optimisers a single flat view of a model's state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data: np.ndarray, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for models: recursive parameter collection and grad zeroing."""
+
+    def parameters(self) -> list[Parameter]:
+        """All unique parameters reachable from this module's attributes."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(self, found, seen)
+        return found
+
+    @staticmethod
+    def _collect(obj, found: list[Parameter], seen: set[int]) -> None:
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        if isinstance(obj, Parameter):
+            found.append(obj)
+            return
+        if isinstance(obj, Module):
+            for value in vars(obj).values():
+                Module._collect(value, found, seen)
+            return
+        if isinstance(obj, (list, tuple)):
+            for value in obj:
+                Module._collect(value, found, seen)
+            return
+        if isinstance(obj, dict):
+            for value in obj.values():
+                Module._collect(value, found, seen)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (the paper's parameter complexity)."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by attribute path."""
+        state: dict[str, np.ndarray] = {}
+        self._state("", self, state, set())
+        return state
+
+    @staticmethod
+    def _state(prefix: str, obj, state: dict[str, np.ndarray], seen: set[int]) -> None:
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        if isinstance(obj, Parameter):
+            state[prefix] = obj.data.copy()
+            return
+        if isinstance(obj, Module):
+            for key, value in vars(obj).items():
+                Module._state(f"{prefix}.{key}" if prefix else key, value, state, seen)
+            return
+        if isinstance(obj, (list, tuple)):
+            for i, value in enumerate(obj):
+                Module._state(f"{prefix}[{i}]", value, state, seen)
+            return
+        if isinstance(obj, dict):
+            for key, value in obj.items():
+                Module._state(f"{prefix}[{key}]", value, state, seen)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays previously produced by :meth:`state_dict`."""
+        own = {}
+        self._named(self, "", own, set())
+        missing = set(state) - set(own)
+        if missing:
+            raise KeyError(f"state dict has unknown keys: {sorted(missing)[:5]}")
+        for key, array in state.items():
+            param = own[key]
+            if param.data.shape != array.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: {param.data.shape} vs {array.shape}"
+                )
+            param.data = array.copy()
+
+    @staticmethod
+    def _named(obj, prefix: str, out: dict[str, Parameter], seen: set[int]) -> None:
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        if isinstance(obj, Parameter):
+            out[prefix] = obj
+            return
+        if isinstance(obj, Module):
+            for key, value in vars(obj).items():
+                Module._named(value, f"{prefix}.{key}" if prefix else key, out, seen)
+            return
+        if isinstance(obj, (list, tuple)):
+            for i, value in enumerate(obj):
+                Module._named(value, f"{prefix}[{i}]", out, seen)
+            return
+        if isinstance(obj, dict):
+            for key, value in obj.items():
+                Module._named(value, f"{prefix}[{key}]", out, seen)

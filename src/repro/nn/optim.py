@@ -1,0 +1,88 @@
+"""Optimisers: plain SGD and Adam.
+
+Adam is the default optimiser for all embedding/alignment training in this
+reproduction (the paper uses standard deep-learning training loops; the exact
+optimiser is not specified beyond stochastic gradient descent).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser over an explicit parameter list."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data = p.data + v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.01,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

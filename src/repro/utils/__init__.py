@@ -1,0 +1,28 @@
+"""Shared utilities: seeded randomness, numeric helpers, timing and logging."""
+
+from repro.utils.math import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    l2_normalize,
+    pairwise_sq_dists,
+    softmax,
+    stable_log,
+    top_k_indices,
+)
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.timer import Timer
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RandomState",
+    "Timer",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "ensure_rng",
+    "get_logger",
+    "l2_normalize",
+    "pairwise_sq_dists",
+    "softmax",
+    "stable_log",
+    "top_k_indices",
+]

@@ -1,0 +1,34 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so that applications embedding the package decide how and
+where log records go.  :func:`get_logger` is the single entry point modules
+use, keeping logger names under the ``repro`` namespace.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger scoped under the ``repro`` namespace."""
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Convenience used by examples and benchmarks to see progress output."""
+    logger = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

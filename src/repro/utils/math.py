@@ -1,0 +1,82 @@
+"""Numeric helpers shared across embedding, alignment and active-learning code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def l2_normalize(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Return ``x`` scaled to unit L2 norm along ``axis`` (zero-safe)."""
+    norm = np.linalg.norm(x, axis=axis, keepdims=True)
+    return x / np.maximum(norm, _EPS)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors, defined as 0 for zero vectors."""
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na < _EPS or nb < _EPS:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities between rows of ``a`` and rows of ``b``.
+
+    Returns an ``(len(a), len(b))`` matrix.  Zero rows yield zero similarity.
+    """
+    a_n = l2_normalize(np.asarray(a, dtype=float))
+    b_n = l2_normalize(np.asarray(b, dtype=float))
+    return a_n @ b_n.T
+
+
+def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``a`` and rows of ``b``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    d = a_sq + b_sq - 2.0 * (a @ b.T)
+    return np.maximum(d, 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1, temperature: float = 1.0) -> np.ndarray:
+    """Numerically stable softmax with optional temperature scaling."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    z = np.asarray(x, dtype=float) / temperature
+    z = z - np.max(z, axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def stable_log(x: np.ndarray) -> np.ndarray:
+    """Logarithm clipped away from zero to avoid ``-inf``."""
+    return np.log(np.maximum(np.asarray(x, dtype=float), _EPS))
+
+
+def top_k_indices(scores: np.ndarray, k: int, largest: bool = True) -> np.ndarray:
+    """Indices of the ``k`` largest (or smallest) entries of a 1-D array, sorted.
+
+    ``k`` larger than the array size is truncated rather than an error, which
+    matches how candidate pools are built for small synthetic KGs.
+    """
+    scores = np.asarray(scores)
+    k = min(k, scores.shape[-1])
+    if k <= 0:
+        return np.empty(0, dtype=int)
+    if largest:
+        part = np.argpartition(-scores, k - 1)[:k]
+        return part[np.argsort(-scores[part])]
+    part = np.argpartition(scores, k - 1)[:k]
+    return part[np.argsort(scores[part])]
+
+
+def reciprocal_rank(scores: np.ndarray, true_index: int) -> float:
+    """Reciprocal rank of ``true_index`` when ranking ``scores`` descending."""
+    scores = np.asarray(scores, dtype=float)
+    target = scores[true_index]
+    rank = int(np.sum(scores > target)) + 1
+    return 1.0 / rank

@@ -1,0 +1,35 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  :func:`ensure_rng` normalises all
+three into a ``Generator`` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` gives a freshly seeded generator, an ``int`` gives a deterministic
+    generator, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Child generators are seeded from the parent so that a single experiment
+    seed fans out deterministically to its sub-components.
+    """
+    seeds = rng.integers(0, 2**31 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,352 @@
+"""Tests for the joint alignment model and its supporting components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alignment import (
+    AlignmentCalibrator,
+    AlignmentTrainingConfig,
+    CalibrationConfig,
+    JointAlignmentModel,
+    JointAlignmentTrainer,
+    entity_weights,
+    evaluate_alignment,
+    f1_score,
+    greedy_match,
+    hits_at_k,
+    mean_class_embeddings,
+    mean_reciprocal_rank,
+    mean_relation_embeddings,
+    mine_potential_matches,
+    precision_recall_f1,
+    resolve_conflicts,
+)
+from repro.alignment.propagation import StructuralPropagation, normalized_adjacency
+from repro.embedding import EntityClassScorer, TransE
+from repro.kg.elements import ElementKind
+
+
+@pytest.fixture(scope="module")
+def joint_setup(tiny_pair):
+    kg1 = tiny_pair.kg1.with_inverse_relations()
+    kg2 = tiny_pair.kg2.with_inverse_relations()
+    from repro.kg.pair import AlignedKGPair
+
+    pair = AlignedKGPair(
+        tiny_pair.name, kg1, kg2, tiny_pair.entity_alignment, tiny_pair.relation_alignment,
+        tiny_pair.class_alignment, tiny_pair.train_entity_pairs, tiny_pair.valid_entity_pairs,
+        tiny_pair.test_entity_pairs,
+    )
+    m1, m2 = TransE(kg1, dim=8, rng=0), TransE(kg2, dim=8, rng=1)
+    s1 = EntityClassScorer(kg1, 8, 4, rng=0)
+    s2 = EntityClassScorer(kg2, 8, 4, rng=1)
+    model = JointAlignmentModel(pair, m1, m2, s1, s2, rng=0)
+    return pair, model
+
+
+class TestEvaluationMetrics:
+    def test_hits_at_k_perfect(self):
+        sim = np.eye(3)
+        gold = np.array([[0, 0], [1, 1], [2, 2]])
+        assert hits_at_k(sim, gold, 1) == 1.0
+        assert mean_reciprocal_rank(sim, gold) == 1.0
+
+    def test_hits_at_k_partial(self):
+        sim = np.array([[0.9, 0.1], [0.8, 0.2]])
+        gold = np.array([[0, 0], [1, 1]])
+        assert hits_at_k(sim, gold, 1) == 0.5
+        assert hits_at_k(sim, gold, 10) == 1.0
+
+    def test_mrr_second_rank(self):
+        sim = np.array([[0.5, 0.9]])
+        gold = np.array([[0, 0]])
+        assert mean_reciprocal_rank(sim, gold) == pytest.approx(0.5)
+
+    def test_greedy_match_is_one_to_one(self):
+        sim = np.array([[0.9, 0.8], [0.85, 0.1]])
+        matches = greedy_match(sim)
+        assert len(matches) == 2
+        assert len({i for i, _ in matches}) == 2
+        assert len({j for _, j in matches}) == 2
+
+    def test_greedy_match_respects_threshold(self):
+        sim = np.array([[0.9, 0.1], [0.2, 0.3]])
+        assert greedy_match(sim, threshold=0.5) == [(0, 0)]
+
+    def test_precision_recall_f1(self):
+        predicted = [(0, 0), (1, 1), (2, 5)]
+        gold = {(0, 0), (1, 1), (3, 3)}
+        precision, recall, f1 = precision_recall_f1(predicted, gold)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_empty_predictions(self):
+        assert precision_recall_f1([], {(0, 0)}) == (0.0, 0.0, 0.0)
+
+    def test_f1_zero_division(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_evaluate_alignment_bundle(self):
+        sim = np.eye(4)
+        gold = np.array([[i, i] for i in range(4)])
+        scores = evaluate_alignment(sim, gold)
+        assert scores.hits_at_1 == 1.0 and scores.f1 == 1.0
+
+    def test_evaluate_alignment_empty_gold(self):
+        scores = evaluate_alignment(np.eye(3), np.empty((0, 2)))
+        assert scores.f1 == 0.0
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_perfect_similarity_gives_perfect_scores(self, n):
+        sim = np.eye(n)
+        gold = np.array([[i, i] for i in range(n)])
+        scores = evaluate_alignment(sim, gold)
+        assert scores.hits_at_1 == 1.0
+        assert scores.mrr == 1.0
+        assert scores.f1 == 1.0
+
+    @given(st.integers(2, 5), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_metrics_are_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sim = rng.random((n, n))
+        gold = np.array([[i, i] for i in range(n)])
+        scores = evaluate_alignment(sim, gold)
+        for value in scores.as_dict().values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestCalibration:
+    def test_probability_matrix_shape_and_range(self):
+        sim = np.random.default_rng(0).random((5, 4))
+        calibrator = AlignmentCalibrator()
+        probabilities = calibrator.probability_matrix(sim, ElementKind.ENTITY)
+        assert probabilities.shape == sim.shape
+        assert np.all(probabilities >= 0) and np.all(probabilities <= 1)
+
+    def test_true_match_gets_high_probability(self):
+        sim = np.full((3, 3), 0.1)
+        np.fill_diagonal(sim, 0.95)
+        calibrator = AlignmentCalibrator(CalibrationConfig(z_entity=0.05))
+        probabilities = calibrator.probability_matrix(sim, ElementKind.ENTITY)
+        assert probabilities[0, 0] > 0.5
+        assert probabilities[0, 1] < 0.5
+
+    def test_min_of_both_directions(self):
+        sim = np.array([[0.9, 0.9], [0.1, 0.1]])
+        calibrator = AlignmentCalibrator()
+        row, col = calibrator.directional_probabilities(sim, ElementKind.RELATION)
+        combined = calibrator.probability_matrix(sim, ElementKind.RELATION)
+        assert np.allclose(combined, np.minimum(row, col))
+
+    def test_temperature_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationConfig(z_entity=0.0)
+
+    def test_kind_specific_temperature(self):
+        config = CalibrationConfig(z_entity=0.05, z_relation=0.2, z_class=0.3)
+        assert config.temperature(ElementKind.RELATION) == 0.2
+        assert config.temperature(ElementKind.CLASS) == 0.3
+
+
+class TestSemiSupervision:
+    def test_resolve_conflicts_keeps_best(self):
+        kept = resolve_conflicts([(0, 0, 0.9), (0, 1, 0.8), (1, 1, 0.7), (2, 2, 0.5)])
+        assert {pair[:2] for pair in kept} == {(0, 0), (1, 1), (2, 2)}
+
+    def test_mine_potential_matches_threshold_and_exclusions(self):
+        sim = np.array([[0.95, 0.2], [0.1, 0.92], [0.3, 0.91]])
+        mined = mine_potential_matches(sim, threshold=0.9)
+        pairs = {(m.left, m.right) for m in mined}
+        assert (0, 0) in pairs and (1, 1) in pairs
+        assert (2, 1) not in pairs  # conflict resolution keeps the better row
+        mined = mine_potential_matches(sim, threshold=0.9, exclude_left={0})
+        assert all(m.left != 0 for m in mined)
+
+    def test_mine_respects_max_candidates(self):
+        sim = np.full((5, 5), 0.95)
+        mined = mine_potential_matches(sim, threshold=0.9, max_candidates=2)
+        assert len(mined) == 2
+
+    def test_mine_empty_matrix(self):
+        assert mine_potential_matches(np.empty((0, 0)), 0.5) == []
+
+
+class TestMeanEmbeddings:
+    def test_entity_weights_shapes_and_bounds(self):
+        sim = np.random.default_rng(0).uniform(-1, 1, size=(4, 6))
+        w1, w2 = entity_weights(sim)
+        assert w1.shape == (4,) and w2.shape == (6,)
+        assert np.all(w1 >= 0) and np.all(w1 <= 1)
+
+    def test_mean_relation_embeddings_translation(self, tiny_pair):
+        kg = tiny_pair.kg1
+        model = TransE(kg, dim=8, rng=0)
+        entities = model.entity_matrix()
+        weights = np.ones(kg.num_entities)
+        means = mean_relation_embeddings(kg, model, entities, weights)
+        assert means.shape == (kg.num_relations, 8)
+        # with uniform weights the mean is the average of (tail - head)
+        r = 0
+        rows = kg.triples_of_relation(r)
+        expected = np.mean([entities[t] - entities[h] for h, _, t in rows], axis=0)
+        assert np.allclose(means[r], expected)
+
+    def test_mean_class_embeddings_weighted(self, tiny_pair):
+        kg = tiny_pair.kg1
+        entities = np.arange(kg.num_entities * 2, dtype=float).reshape(kg.num_entities, 2)
+        weights = np.zeros(kg.num_entities)
+        weights[0] = 1.0
+        means = mean_class_embeddings(kg, entities, weights)
+        cls = kg.classes_of(0)[0]
+        assert np.allclose(means[cls], entities[0])
+
+    def test_zero_weights_fall_back_to_unweighted_mean(self, tiny_pair):
+        kg = tiny_pair.kg1
+        entities = np.ones((kg.num_entities, 3))
+        means = mean_class_embeddings(kg, entities, np.zeros(kg.num_entities))
+        assert np.allclose(means[0], 1.0)
+
+
+class TestPropagation:
+    def test_normalized_adjacency_rows_sum_to_one(self, tiny_pair):
+        adjacency = normalized_adjacency(tiny_pair.kg1)
+        sums = np.asarray(adjacency.sum(axis=1)).ravel()
+        connected = sums > 0
+        assert np.allclose(sums[connected], 1.0)
+
+    def test_propagation_similarity_favours_gold_matches(self, tiny_pair):
+        propagation = StructuralPropagation(tiny_pair.kg1, tiny_pair.kg2, hops=2)
+        landmarks = tiny_pair.entity_match_ids(tiny_pair.train_entity_pairs)
+        sim = propagation.similarity_matrix(landmarks)
+        assert sim.shape == (tiny_pair.kg1.num_entities, tiny_pair.kg2.num_entities)
+        gold = tiny_pair.entity_match_ids()
+        on_gold = np.mean([sim[i, j] for i, j in gold])
+        assert on_gold >= sim.mean() - 1e-9
+
+    def test_no_landmarks_gives_zero_channel(self, tiny_pair):
+        propagation = StructuralPropagation(tiny_pair.kg1, tiny_pair.kg2)
+        sim = propagation.similarity_matrix(np.empty((0, 2)))
+        assert np.allclose(sim, 0.0)
+
+    def test_config_validation(self, tiny_pair):
+        with pytest.raises(ValueError):
+            StructuralPropagation(tiny_pair.kg1, tiny_pair.kg2, hops=0)
+        with pytest.raises(ValueError):
+            StructuralPropagation(tiny_pair.kg1, tiny_pair.kg2, alpha=0.0)
+
+
+class TestJointAlignmentModel:
+    def test_similarity_matrices_shapes(self, joint_setup):
+        pair, model = joint_setup
+        assert model.entity_similarity_matrix().shape == (
+            pair.kg1.num_entities, pair.kg2.num_entities
+        )
+        assert model.relation_similarity_matrix().shape == (
+            pair.kg1.num_relations, pair.kg2.num_relations
+        )
+        assert model.class_similarity_matrix().shape == (
+            pair.kg1.num_classes, pair.kg2.num_classes
+        )
+
+    def test_pair_similarity_dispatch(self, joint_setup):
+        _, model = joint_setup
+        pairs = np.array([[0, 0], [1, 1]])
+        for kind in ElementKind:
+            values = model.pair_similarity(kind, pairs)
+            assert values.shape == (2,)
+            assert np.all(np.abs(values.numpy()) <= 1.0 + 1e-6)
+
+    def test_structural_channel_only_after_landmarks(self, joint_setup):
+        _, model = joint_setup
+        model.set_landmarks(np.empty((0, 2)))
+        structural = model.structural_similarity_matrix()
+        assert np.allclose(structural, 0.0)
+        model.set_landmarks(np.array([[0, 0]]))
+        assert model.structural_similarity_matrix().max() > 0
+
+    def test_entity_similarity_is_max_of_channels(self, joint_setup):
+        _, model = joint_setup
+        model.set_landmarks(np.array([[0, 0], [1, 1]]))
+        combined = model.entity_similarity_matrix()
+        embedding = model.embedding_entity_similarity_matrix()
+        structural = model.structural_similarity_matrix()
+        assert np.allclose(combined, np.maximum(embedding, structural))
+
+    def test_entity_weights_from_snapshot(self, joint_setup):
+        _, model = joint_setup
+        w1, w2 = model.entity_weight_vectors()
+        assert w1.shape[0] == model.kg1.num_entities
+        assert np.all(w1 >= 0) and np.all(w1 <= 1)
+
+    def test_parameter_summary(self, joint_setup):
+        _, model = joint_setup
+        summary = model.parameter_summary()
+        assert summary["mapping_matrices"] > 0
+        assert "class_scorers" in summary
+
+    def test_mismatched_dims_rejected(self, joint_setup, tiny_pair):
+        pair, _ = joint_setup
+        with pytest.raises(ValueError):
+            JointAlignmentModel(pair, TransE(pair.kg1, dim=8, rng=0), TransE(pair.kg2, dim=16, rng=0))
+
+    def test_single_class_scorer_rejected(self, joint_setup):
+        pair, model = joint_setup
+        with pytest.raises(ValueError):
+            JointAlignmentModel(
+                pair, model.model1, model.model2, model.class_scorer1, None
+            )
+
+
+class TestJointAlignmentTrainer:
+    def test_training_improves_seed_similarity(self, joint_setup):
+        pair, _ = joint_setup
+        m1, m2 = TransE(pair.kg1, dim=8, rng=2), TransE(pair.kg2, dim=8, rng=3)
+        model = JointAlignmentModel(pair, m1, m2, rng=2)
+        trainer = JointAlignmentTrainer(
+            model,
+            AlignmentTrainingConfig(rounds=2, epochs_per_round=15, num_negatives=4,
+                                    semi_supervised=False),
+            seed=0,
+        )
+        seeds = pair.entity_match_ids(pair.train_entity_pairs)
+        before = model.entity_pair_similarity(seeds).numpy().mean()
+        trainer.add_matches(ElementKind.ENTITY, seeds)
+        trainer.train()
+        after = model.entity_pair_similarity(seeds).numpy().mean()
+        assert after > before
+
+    def test_fine_tune_adds_labels_and_runs(self, joint_setup):
+        pair, _ = joint_setup
+        m1, m2 = TransE(pair.kg1, dim=8, rng=4), TransE(pair.kg2, dim=8, rng=5)
+        model = JointAlignmentModel(pair, m1, m2, rng=4)
+        trainer = JointAlignmentTrainer(
+            model, AlignmentTrainingConfig(rounds=1, epochs_per_round=5, num_negatives=2), seed=0
+        )
+        trainer.add_matches(ElementKind.ENTITY, pair.entity_match_ids(pair.train_entity_pairs))
+        trainer.train()
+        history = trainer.fine_tune(
+            new_matches={ElementKind.RELATION: [(0, 0)]},
+            new_non_matches={ElementKind.ENTITY: [(0, 1)]},
+            epochs=3,
+        )
+        assert len(history) == 3
+        assert (0, 0) in trainer.labels.matches[ElementKind.RELATION]
+        assert (0, 1) in trainer.labels.non_matches[ElementKind.ENTITY]
+
+    def test_duplicate_labels_are_ignored(self, joint_setup):
+        pair, model = joint_setup
+        trainer = JointAlignmentTrainer(model, AlignmentTrainingConfig(), seed=0)
+        trainer.add_matches(ElementKind.ENTITY, [(0, 0), (0, 0)])
+        assert len(trainer.labels.matches[ElementKind.ENTITY]) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AlignmentTrainingConfig(rounds=0)
+        with pytest.raises(ValueError):
+            AlignmentTrainingConfig(semi_threshold=0.0)
+        with pytest.raises(ValueError):
+            AlignmentTrainingConfig(hard_negative_fraction=2.0)

@@ -1,0 +1,177 @@
+"""Tests for the autograd engine: every op is checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, functional as F, no_grad, tensor
+
+
+def finite_difference_check(fn, *shapes, seed=0, tol=1e-4):
+    """Compare analytic gradients of ``fn`` (scalar output) with central differences."""
+    rng = np.random.default_rng(seed)
+    inputs = [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+    out = fn(*inputs)
+    out.backward()
+    eps = 1e-6
+    for x in inputs:
+        numeric = np.zeros_like(x.data)
+        it = np.nditer(x.data, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            original = x.data[idx]
+            x.data[idx] = original + eps
+            plus = fn(*inputs).item()
+            x.data[idx] = original - eps
+            minus = fn(*inputs).item()
+            x.data[idx] = original
+            numeric[idx] = (plus - minus) / (2 * eps)
+            it.iternext()
+        assert np.max(np.abs(numeric - x.grad)) < tol
+
+
+GRADIENT_CASES = {
+    "add": (lambda a, b: (a + b).sum(), ((3, 4), (3, 4))),
+    "broadcast_add": (lambda a, b: (a + b).sum(), ((3, 4), (4,))),
+    "sub": (lambda a, b: (a - b * 2.0).sum(), ((2, 3), (2, 3))),
+    "mul": (lambda a, b: (a * b).sum(), ((3, 3), (3, 3))),
+    "div": (lambda a, b: (a / (b * b + 1.0)).sum(), ((2, 2), (2, 2))),
+    "pow": (lambda a: (a**3).sum(), ((4,),)),
+    "matmul": (lambda a, b: (a @ b).sum(), ((3, 4), (4, 2))),
+    "matvec": (lambda a, b: (a @ b).sum(), ((3, 4), (4,))),
+    "vecmat": (lambda a, b: (a @ b).sum(), ((4,), (4, 2))),
+    "sum_axis": (lambda a: (a.sum(axis=1) ** 2).sum(), ((3, 4),)),
+    "mean": (lambda a: a.mean(), ((5, 2),)),
+    "norm": (lambda a: a.norm(axis=1).sum(), ((4, 3),)),
+    "max_axis": (lambda a: a.max(axis=1).sum(), ((4, 3),)),
+    "exp": (lambda a: a.exp().sum(), ((3, 3),)),
+    "log": (lambda a: (a * a + 1.0).log().sum(), ((3, 3),)),
+    "tanh": (lambda a: a.tanh().sum(), ((3, 3),)),
+    "sigmoid": (lambda a: a.sigmoid().sum(), ((3, 3),)),
+    "relu": (lambda a: (a.relu() * a).sum(), ((4, 4),)),
+    "abs": (lambda a: (a.abs() + 0.1).sum(), ((3, 3),)),
+    "clamp_min": (lambda a: a.clamp_min(0.2).sum(), ((4, 2),)),
+    "reshape": (lambda a: (a.reshape(6) ** 2).sum(), ((2, 3),)),
+    "transpose": (lambda a, b: (a.T @ b).sum(), ((3, 2), (3, 2))),
+    "getitem": (lambda a: (a[:, 0] * a[:, 1]).sum(), ((4, 3),)),
+    "gather_rows": (lambda a: a.gather_rows(np.array([0, 2, 2, 1])).sum(), ((3, 4),)),
+    "scatter_rows": (lambda a: F.scatter_rows(a, np.array([0, 1, 0]), 2).norm(), ((3, 4),)),
+    "stack_rows": (lambda a, b: (F.stack_rows([a, b]) ** 2).sum(), ((3,), (3,))),
+    "concatenate": (lambda a, b: (F.concatenate([a, b], axis=1) ** 2).sum(), ((2, 3), (2, 2))),
+    "maximum": (lambda a, b: F.maximum(a, b * 0.5).sum(), ((4, 2), (4, 2))),
+    "cosine_rows": (lambda a, b: F.cosine_similarity_rows(a, b).sum(), ((4, 3), (4, 3))),
+    "cosine_vec": (lambda a, b: F.cosine_similarity_vec(a, b), ((5,), (5,))),
+    "softmax": (lambda a: (F.softmax(a, axis=1)[:, 0]).sum(), ((3, 4),)),
+    "log_softmax": (lambda a: F.log_softmax(a, axis=1)[:, 1].mean(), ((3, 4),)),
+    "l2_normalize_rows": (lambda a: (F.l2_normalize_rows(a)[:, 0]).sum(), ((3, 4),)),
+    "margin_loss": (
+        lambda a, b: F.margin_ranking_loss(a.norm(axis=1), b.norm(axis=1), 0.5),
+        ((4, 3), (4, 3)),
+    ),
+    "pairwise_softmax_loss": (
+        lambda a, b: F.pairwise_softmax_loss((a * a).sum(axis=1), (b * b).sum(axis=1)),
+        ((4, 3), (4, 3)),
+    ),
+    "soft_label_loss": (
+        lambda a: F.soft_label_loss((a * a).sum(axis=1), np.array([0.5, 0.9, 0.1])),
+        ((3, 2),),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRADIENT_CASES))
+def test_gradient_matches_finite_differences(name):
+    fn, shapes = GRADIENT_CASES[name]
+    finite_difference_check(fn, *shapes)
+
+
+class TestTensorBasics:
+    def test_tensor_constructor(self):
+        t = tensor([1.0, 2.0], requires_grad=True)
+        assert t.requires_grad and t.shape == (2,)
+
+    def test_detach_cuts_graph(self):
+        t = tensor([1.0], requires_grad=True)
+        assert not t.detach().requires_grad
+
+    def test_item_requires_scalar(self):
+        assert tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        t = tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            tensor([1.0]).backward()
+
+    def test_no_grad_disables_graph(self):
+        t = tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            out = (t * 3).sum()
+        assert not out.requires_grad
+
+    def test_grad_accumulates_over_multiple_backward_paths(self):
+        t = tensor([2.0], requires_grad=True)
+        out = (t * 3) + (t * 4)
+        out.sum().backward()
+        assert t.grad[0] == pytest.approx(7.0)
+
+    def test_zero_grad(self):
+        t = tensor([2.0], requires_grad=True)
+        (t * t).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            tensor([1.0]) ** tensor([2.0])
+
+    def test_rsub_and_rdiv(self):
+        t = tensor([2.0], requires_grad=True)
+        out = (4.0 - t) + (8.0 / t)
+        out.sum().backward()
+        assert out.data[0] == pytest.approx(6.0)
+        assert t.grad[0] == pytest.approx(-1.0 - 8.0 / 4.0)
+
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_addition_is_commutative(self, values):
+        a = tensor(values)
+        b = tensor(list(reversed(values)))
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @given(st.lists(st.floats(-3, 3), min_size=2, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_output_rows_sum_to_one(self, values):
+        x = tensor([values, values])
+        p = F.softmax(x, axis=1)
+        assert np.allclose(p.data.sum(axis=1), 1.0)
+
+    @given(st.integers(2, 6), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_scatter_then_sum_preserves_mass(self, n, d):
+        rng = np.random.default_rng(0)
+        source = tensor(rng.normal(size=(n, d)))
+        indices = rng.integers(0, 3, size=n)
+        scattered = F.scatter_rows(source, indices, 3)
+        assert np.allclose(scattered.data.sum(axis=0), source.data.sum(axis=0))
+
+
+class TestFocalLoss:
+    def test_focal_loss_downweights_easy_examples(self):
+        easy_pos = tensor([5.0, 5.0])
+        easy_neg = tensor([-5.0, -5.0])
+        hard_pos = tensor([0.0, 0.0])
+        hard_neg = tensor([0.0, 0.0])
+        easy = F.focal_pairwise_softmax_loss(easy_pos, easy_neg, gamma=2.0).item()
+        hard = F.focal_pairwise_softmax_loss(hard_pos, hard_neg, gamma=2.0).item()
+        assert hard > easy
+
+    def test_focal_loss_gamma_zero_matches_plain_softmax_loss(self):
+        pos = tensor([1.0, 0.3])
+        neg = tensor([0.2, 0.8])
+        focal = F.focal_pairwise_softmax_loss(pos, neg, gamma=0.0).item()
+        plain = F.pairwise_softmax_loss(pos, neg).item()
+        assert focal == pytest.approx(plain, rel=1e-6)

@@ -1,0 +1,305 @@
+"""Tests for inference power measurement and batch active learning."""
+
+import numpy as np
+import pytest
+
+from repro.active import (
+    ActiveLearningConfig,
+    ElementPairPool,
+    GreedySelectionConfig,
+    Oracle,
+    PartitionSelectionConfig,
+    PoolConfig,
+    RandomStrategy,
+    build_pool,
+    create_strategy,
+    greedy_select,
+    partition_pool,
+    partition_select,
+    STRATEGY_REGISTRY,
+)
+from repro.active.selection import expected_overall_power
+from repro.inference import (
+    ElementPair,
+    InferencePowerConfig,
+    InferencePowerEstimator,
+    build_alignment_graph,
+)
+from repro.inference.pairs import class_pair, entity_pair, relation_pair
+from repro.inference.power import inference_accuracy
+from repro.kg.elements import ElementKind
+
+
+@pytest.fixture(scope="module")
+def inference_setup(fitted_pipeline):
+    pipeline = fitted_pipeline
+    pool = build_pool(pipeline.model, PoolConfig(top_n=15))
+    graph, estimator = pipeline.build_inference_estimator(pool)
+    return pipeline, pool, graph, estimator
+
+
+class TestElementPair:
+    def test_hashable_and_ordered(self):
+        a, b = entity_pair(1, 2), entity_pair(1, 3)
+        assert a < b
+        assert len({a, b, entity_pair(1, 2)}) == 2
+
+    def test_kind_constructors(self):
+        assert relation_pair(0, 1).kind is ElementKind.RELATION
+        assert class_pair(0, 1).kind is ElementKind.CLASS
+
+
+class TestAlignmentGraph:
+    def test_build_graph_from_tiny_pair(self, tiny_pair):
+        entity_pool = {tuple(row) for row in tiny_pair.entity_match_ids().tolist()}
+        graph = build_alignment_graph(tiny_pair.kg1, tiny_pair.kg2, entity_pool)
+        assert len(graph.entity_pairs) == len(entity_pool)
+        assert graph.num_edges() > 0
+        # every edge endpoint is in the pool
+        for edge in graph.edges:
+            assert (edge.source.left, edge.source.right) in entity_pool
+            assert (edge.target.left, edge.target.right) in entity_pool
+
+    def test_class_membership_links(self, tiny_pair):
+        entity_pool = {tuple(row) for row in tiny_pair.entity_match_ids().tolist()}
+        graph = build_alignment_graph(tiny_pair.kg1, tiny_pair.kg2, entity_pool)
+        assert len(graph.class_pair_members) > 0
+
+    def test_neighbors_symmetric_closure(self, tiny_pair):
+        entity_pool = {tuple(row) for row in tiny_pair.entity_match_ids().tolist()}
+        graph = build_alignment_graph(tiny_pair.kg1, tiny_pair.kg2, entity_pool)
+        for edge in graph.edges[:10]:
+            assert edge.target in graph.neighbors(edge.source)
+
+    def test_empty_pool_gives_empty_graph(self, tiny_pair):
+        graph = build_alignment_graph(tiny_pair.kg1, tiny_pair.kg2, set())
+        assert graph.num_edges() == 0
+
+
+class TestInferencePower:
+    def test_edge_power_in_unit_interval(self, inference_setup):
+        _, _, graph, estimator = inference_setup
+        assert graph.num_edges() > 0
+        for edge in graph.edges[:20]:
+            power = estimator.edge_power(edge)
+            assert 0.0 < power <= 1.0
+
+    def test_zeroing_relation_difference_never_decreases_power(self, inference_setup):
+        _, _, graph, estimator = inference_setup
+        for edge in graph.edges[:20]:
+            assert estimator.edge_power(edge, True) >= estimator.edge_power(edge) - 1e-12
+
+    def test_path_power_reaches_neighbors(self, inference_setup):
+        _, _, graph, estimator = inference_setup
+        source = next(pair for pair in graph.entity_pairs if graph.out_edges.get(pair))
+        powers = estimator.entity_path_power(source)
+        assert powers
+        assert all(0.0 < value <= 1.0 for value in powers.values())
+
+    def test_reachable_power_entity_includes_schema_pairs(self, inference_setup):
+        _, _, graph, estimator = inference_setup
+        source = next(pair for pair in graph.entity_pairs if graph.out_edges.get(pair))
+        reach = estimator.reachable_power(source)
+        kinds = {pair.kind for pair in reach}
+        assert ElementKind.ENTITY in kinds
+
+    def test_relation_pair_power(self, inference_setup):
+        _, _, graph, estimator = inference_setup
+        relation_pairs_with_edges = [p for p in graph.relation_pairs if graph.edges_by_relation_pair.get(p)]
+        assert relation_pairs_with_edges
+        powers = estimator.relation_to_entity_power(relation_pairs_with_edges[0])
+        assert all(value <= 1.0 for value in powers.values())
+
+    def test_class_pair_has_no_outgoing_power(self, inference_setup):
+        _, _, graph, estimator = inference_setup
+        assert estimator.reachable_power(graph.class_pairs[0]) == {}
+
+    def test_overall_power_is_monotone_in_labels(self, inference_setup):
+        pipeline, _, graph, estimator = inference_setup
+        labelled = [
+            ElementPair(ElementKind.ENTITY, left, right)
+            for left, right in pipeline.trainer.labels.matches[ElementKind.ENTITY][:10]
+        ]
+        assert estimator.overall_power(labelled[:2]) <= estimator.overall_power(labelled) + 1e-9
+
+    def test_inference_accuracy_bounds(self, inference_setup):
+        pipeline, _, _, estimator = inference_setup
+        labelled = [
+            ElementPair(ElementKind.ENTITY, left, right)
+            for left, right in pipeline.trainer.labels.matches[ElementKind.ENTITY]
+        ]
+        gold = {
+            ElementKind.ENTITY: {tuple(r) for r in pipeline.pair.entity_match_ids().tolist()},
+            ElementKind.RELATION: {tuple(r) for r in pipeline.pair.relation_match_ids().tolist()},
+            ElementKind.CLASS: {tuple(r) for r in pipeline.pair.class_match_ids().tolist()},
+        }
+        accuracy = inference_accuracy(estimator, labelled, gold)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            InferencePowerConfig(max_hops=0)
+        with pytest.raises(ValueError):
+            InferencePowerConfig(power_threshold=2.0)
+
+
+class TestPool:
+    def test_pool_contains_all_schema_pairs(self, inference_setup):
+        pipeline, pool, _, _ = inference_setup
+        assert len(pool.relation_pairs) == pipeline.kg1.num_relations * pipeline.kg2.num_relations
+        assert len(pool.class_pairs) == pipeline.kg1.num_classes * pipeline.kg2.num_classes
+
+    def test_pool_recall_monotone_in_n(self, fitted_pipeline):
+        gold = {
+            (fitted_pipeline.kg1.entity_id(a), fitted_pipeline.kg2.entity_id(b))
+            for a, b in fitted_pipeline.pair.entity_alignment.pairs
+        }
+        small = build_pool(fitted_pipeline.model, PoolConfig(top_n=5)).recall_of_matches(gold)
+        large = build_pool(fitted_pipeline.model, PoolConfig(top_n=40)).recall_of_matches(gold)
+        assert large >= small
+
+    def test_pool_membership_and_len(self, inference_setup):
+        _, pool, _, _ = inference_setup
+        assert len(pool) == len(pool.all_pairs)
+        assert pool.entity_pairs[0] in pool
+
+    def test_pool_config_validation(self):
+        with pytest.raises(ValueError):
+            PoolConfig(top_n=0)
+
+
+class TestOracle:
+    def test_oracle_answers_from_gold(self, tiny_pair):
+        oracle = Oracle(tiny_pair)
+        gold = tiny_pair.entity_match_ids()[0]
+        assert oracle.label(entity_pair(int(gold[0]), int(gold[1])))
+        assert not oracle.label(entity_pair(int(gold[0]), (int(gold[1]) + 1) % tiny_pair.kg2.num_entities))
+        assert oracle.questions_asked == 2
+
+    def test_label_batch_preserves_order(self, tiny_pair):
+        oracle = Oracle(tiny_pair)
+        pairs = [entity_pair(0, 0), entity_pair(0, 1)]
+        answers = oracle.label_batch(pairs)
+        assert [pair for pair, _ in answers] == pairs
+
+
+class TestSelection:
+    def test_greedy_select_batch_size_and_uniqueness(self):
+        candidates = [entity_pair(i, i) for i in range(20)]
+        probabilities = {pair: 0.5 for pair in candidates}
+        reach = lambda q: {entity_pair(q.left + 100, q.right + 100): 0.9}
+        batch = greedy_select(candidates, probabilities, reach,
+                              GreedySelectionConfig(batch_size=5), rng=0)
+        assert len(batch) == 5
+        assert len(set(batch)) == 5
+
+    def test_greedy_prefers_high_probability_high_power(self):
+        strong = entity_pair(0, 0)
+        weak = entity_pair(1, 1)
+        probabilities = {strong: 0.9, weak: 0.1}
+        reach = {
+            strong: {entity_pair(10, 10): 0.95, entity_pair(11, 11): 0.95},
+            weak: {entity_pair(12, 12): 0.85},
+        }
+        batch = greedy_select([weak, strong], probabilities, lambda q: reach[q],
+                              GreedySelectionConfig(batch_size=1), rng=0)
+        assert batch == [strong]
+
+    def test_greedy_avoids_redundant_coverage(self):
+        a, b, c = entity_pair(0, 0), entity_pair(1, 1), entity_pair(2, 2)
+        shared_target = entity_pair(10, 10)
+        other_target = entity_pair(20, 20)
+        probabilities = {a: 0.9, b: 0.9, c: 0.9}
+        reach = {a: {shared_target: 0.95}, b: {shared_target: 0.95}, c: {other_target: 0.9}}
+        batch = greedy_select([a, b, c], probabilities, lambda q: reach[q],
+                              GreedySelectionConfig(batch_size=2, num_samples=32), rng=0)
+        assert c in batch
+
+    def test_expected_overall_power_nonnegative(self):
+        pairs = [entity_pair(0, 0)]
+        value = expected_overall_power(pairs, {pairs[0]: 0.8},
+                                       lambda q: {entity_pair(5, 5): 0.9}, power_threshold=0.5)
+        assert value >= 0.0
+
+    def test_empty_candidates(self):
+        assert greedy_select([], {}, lambda q: {}, GreedySelectionConfig(batch_size=3)) == []
+
+    def test_selection_config_validation(self):
+        with pytest.raises(ValueError):
+            GreedySelectionConfig(batch_size=0)
+
+
+class TestPartitioning:
+    def test_partition_pool_assigns_every_entity_pair(self, inference_setup):
+        _, _, graph, estimator = inference_setup
+        partition_of = partition_pool(graph, estimator, PartitionSelectionConfig(rho=0.9))
+        assert set(partition_of) == set(graph.entity_pairs)
+
+    def test_partition_select_returns_batch(self, inference_setup):
+        pipeline, pool, graph, estimator = inference_setup
+        candidates = pool.all_pairs[:200]
+        probabilities = {pair: 0.5 for pair in candidates}
+        batch = partition_select(
+            candidates, probabilities, graph, estimator,
+            selection_config=GreedySelectionConfig(batch_size=5, candidate_limit=100),
+            partition_config=PartitionSelectionConfig(rho=0.9),
+            rng=0,
+        )
+        assert 0 < len(batch) <= 5
+
+    def test_partition_config_validation(self):
+        with pytest.raises(ValueError):
+            PartitionSelectionConfig(rho=0.0)
+
+
+class TestStrategies:
+    def test_registry_contains_paper_strategies(self):
+        assert set(STRATEGY_REGISTRY) == {
+            "random", "degree", "pagerank", "uncertainty", "activeea", "daakg"
+        }
+
+    def test_create_strategy_unknown(self):
+        with pytest.raises(KeyError):
+            create_strategy("nope")
+
+    def test_daakg_strategy_algorithm_validation(self):
+        with pytest.raises(ValueError):
+            create_strategy("daakg", algorithm="bogus")
+
+    @pytest.mark.parametrize("name", ["random", "degree", "pagerank", "uncertainty", "activeea"])
+    def test_simple_strategies_return_unique_unlabelled_pairs(self, name, fitted_pipeline):
+        from repro.active.strategies import SelectionState
+
+        pool = build_pool(fitted_pipeline.model, PoolConfig(top_n=10))
+        unlabelled = pool.all_pairs
+        probabilities = {pair: 0.5 for pair in unlabelled}
+        state = SelectionState(
+            pool=pool, unlabelled=unlabelled, probabilities=probabilities,
+            model=fitted_pipeline.model, rng=np.random.default_rng(0),
+        )
+        batch = create_strategy(name).select(state, 7)
+        assert len(batch) == 7
+        assert len(set(batch)) == 7
+        assert all(pair in unlabelled for pair in batch)
+
+
+class TestActiveLoop:
+    def test_loop_runs_and_improves_labels(self, fitted_pipeline):
+        loop = fitted_pipeline.active_learning(
+            strategy=RandomStrategy(),
+            config=ActiveLearningConfig(
+                batch_size=10, num_batches=2, fine_tune_epochs=2,
+                pool=PoolConfig(top_n=10),
+                inference=InferencePowerConfig(max_hops=2, power_threshold=0.5),
+            ),
+        )
+        records = loop.run()
+        assert len(records) == 2
+        assert records[1].labels_used > records[0].labels_used
+        assert records[0].labels_used == 10
+        for record in records:
+            assert 0.0 <= record.entity_scores.hits_at_1 <= 1.0
+
+    def test_loop_config_validation(self):
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(batch_size=0)

@@ -1,0 +1,248 @@
+"""Tests for the KG substrate: graph model, pairs, IO, statistics and sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kg import (
+    AlignedKGPair,
+    ElementKind,
+    GoldAlignment,
+    KnowledgeGraph,
+    NegativeSampler,
+    SplitRatios,
+    compute_statistics,
+    load_openea_directory,
+    relation_functionality,
+    save_openea_directory,
+)
+from repro.kg.elements import Triple, TypeTriple, base_relation, is_inverse_relation
+from repro.kg.graph import KGError
+from repro.kg.sampling import corrupt_match_pairs
+from repro.kg.statistics import entity_pagerank, inverse_relation_functionality
+
+
+class TestElements:
+    def test_triple_reversed(self):
+        t = Triple("a", "r", "b").reversed()
+        assert t == Triple("b", "r^-1", "a")
+
+    def test_inverse_relation_helpers(self):
+        assert is_inverse_relation("r^-1")
+        assert not is_inverse_relation("r")
+        assert base_relation("r^-1") == "r"
+        assert base_relation("r") == "r"
+
+    def test_type_triple_as_tuple(self):
+        assert TypeTriple("e", "C").as_tuple() == ("e", "type", "C")
+
+
+class TestKnowledgeGraph:
+    def test_counts(self, tiny_kg):
+        assert tiny_kg.num_entities == 5
+        assert tiny_kg.num_relations == 3
+        assert tiny_kg.num_classes == 2
+        assert tiny_kg.num_triples == 6
+        assert tiny_kg.num_type_triples == 5
+
+    def test_lookups(self, tiny_kg):
+        assert tiny_kg.entity_name(tiny_kg.entity_id("a")) == "a"
+        assert tiny_kg.relation_name(tiny_kg.relation_id("likes")) == "likes"
+        assert tiny_kg.class_name(tiny_kg.class_id("Person")) == "Person"
+
+    def test_unknown_lookup_raises(self, tiny_kg):
+        with pytest.raises(KGError):
+            tiny_kg.entity_id("nope")
+        with pytest.raises(KGError):
+            tiny_kg.relation_id("nope")
+        with pytest.raises(KGError):
+            tiny_kg.class_id("nope")
+
+    def test_adjacency(self, tiny_kg):
+        a = tiny_kg.entity_id("a")
+        b = tiny_kg.entity_id("b")
+        assert (tiny_kg.relation_id("likes"), b) in tiny_kg.out_edges(a)
+        assert a not in tiny_kg.neighbors(a)
+        assert b in tiny_kg.neighbors(a)
+        assert tiny_kg.entity_degree(a) == 2
+
+    def test_classes_of_and_members(self, tiny_kg):
+        a = tiny_kg.entity_id("a")
+        person = tiny_kg.class_id("Person")
+        assert person in tiny_kg.classes_of(a)
+        assert a in tiny_kg.entities_of_class(person)
+
+    def test_triples_of_relation(self, tiny_kg):
+        likes = tiny_kg.relation_id("likes")
+        rows = tiny_kg.triples_of_relation(likes)
+        assert rows.shape == (2, 3)
+        assert np.all(rows[:, 1] == likes)
+
+    def test_relations_of_entity(self, tiny_kg):
+        c = tiny_kg.entity_id("c")
+        names = {tiny_kg.relation_name(r) for r in tiny_kg.relations_of_entity(c)}
+        assert names == {"likes", "knows", "locatedIn"}
+
+    def test_with_inverse_relations_doubles_triples(self, tiny_kg):
+        augmented = tiny_kg.with_inverse_relations()
+        assert augmented.num_triples == 2 * tiny_kg.num_triples
+        assert augmented.num_relations == 2 * tiny_kg.num_relations
+        # idempotent
+        again = augmented.with_inverse_relations()
+        assert again.num_triples == augmented.num_triples
+
+    def test_subgraph_of_entities(self, tiny_kg):
+        sub = tiny_kg.subgraph_of_entities(["a", "b", "c"])
+        assert set(sub.entities) == {"a", "b", "c"}
+        assert all(t.head in sub.entities and t.tail in sub.entities for t in sub.triples)
+        assert "locatedIn" not in sub.relations
+
+    def test_subgraph_unknown_entity_raises(self, tiny_kg):
+        with pytest.raises(KGError):
+            tiny_kg.subgraph_of_entities(["a", "zzz"])
+
+    def test_duplicate_vocabulary_rejected(self):
+        with pytest.raises(KGError):
+            KnowledgeGraph("bad", entities=["a", "a"], relations=[], classes=[])
+
+    def test_triple_referencing_unknown_entity_rejected(self):
+        with pytest.raises(KGError):
+            KnowledgeGraph(
+                "bad", entities=["a"], relations=["r"], classes=[], triples=[Triple("a", "r", "b")]
+            )
+
+    def test_from_triples_preserves_first_appearance_order(self):
+        kg = KnowledgeGraph.from_triples("t", [("x", "r", "y"), ("y", "s", "z")])
+        assert kg.entities == ["x", "y", "z"]
+        assert kg.relations == ["r", "s"]
+
+
+class TestAlignedPair:
+    def test_summary_counts(self, tiny_pair):
+        summary = tiny_pair.summary()
+        assert summary["entity_matches"] == 5
+        assert summary["relation_matches"] == 2
+        assert summary["class_matches"] == 2
+
+    def test_match_id_arrays(self, tiny_pair):
+        ids = tiny_pair.entity_match_ids()
+        assert ids.shape == (5, 2)
+        assert tiny_pair.relation_match_ids().shape == (2, 2)
+        assert tiny_pair.class_match_ids().shape == (2, 2)
+
+    def test_gold_alignment_lookup(self, tiny_pair):
+        gold = tiny_pair.gold(ElementKind.ENTITY)
+        assert gold.counterpart_of_left("l:a") == "r:1"
+        assert gold.counterpart_of_right("r:1") == "l:a"
+        assert ("l:a", "r:1") in gold
+        assert ("l:a", "r:2") not in gold
+
+    def test_split_is_partition(self, tiny_pair):
+        total = (
+            len(tiny_pair.train_entity_pairs)
+            + len(tiny_pair.valid_entity_pairs)
+            + len(tiny_pair.test_entity_pairs)
+        )
+        assert total == len(tiny_pair.entity_alignment)
+        assert not set(tiny_pair.train_entity_pairs) & set(tiny_pair.test_entity_pairs)
+
+    def test_split_ratio_validation(self):
+        with pytest.raises(ValueError):
+            SplitRatios(train=0.5, valid=0.5, test=0.5)
+
+    def test_dangling_entities(self, tiny_pair):
+        assert tiny_pair.dangling_entities_kg1() == set()
+        assert tiny_pair.dangling_entities_kg2() == set()
+
+    def test_alignment_referencing_unknown_element_rejected(self, tiny_pair):
+        with pytest.raises(KGError):
+            AlignedKGPair(
+                name="bad",
+                kg1=tiny_pair.kg1,
+                kg2=tiny_pair.kg2,
+                entity_alignment=GoldAlignment(ElementKind.ENTITY, [("l:a", "r:unknown")]),
+                relation_alignment=GoldAlignment(ElementKind.RELATION, []),
+                class_alignment=GoldAlignment(ElementKind.CLASS, []),
+            )
+
+
+class TestIO:
+    def test_openea_roundtrip(self, tiny_pair, tmp_path):
+        directory = tmp_path / "dataset"
+        save_openea_directory(tiny_pair, directory)
+        loaded = load_openea_directory(directory)
+        assert loaded.summary() == tiny_pair.summary()
+        assert set(loaded.entity_alignment.pairs) == set(tiny_pair.entity_alignment.pairs)
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_openea_directory(tmp_path / "missing")
+
+    def test_malformed_file_raises(self, tmp_path):
+        directory = tmp_path / "broken"
+        directory.mkdir()
+        (directory / "rel_triples_1").write_text("only\ttwo\n")
+        with pytest.raises(ValueError):
+            load_openea_directory(directory)
+
+
+class TestStatistics:
+    def test_compute_statistics(self, tiny_kg):
+        stats = compute_statistics(tiny_kg)
+        assert stats.num_entities == 5
+        assert stats.max_entity_degree >= stats.mean_entity_degree
+        assert stats.relation_counts["likes"] == 2
+
+    def test_relation_functionality_bounds(self, tiny_kg):
+        functionality = relation_functionality(tiny_kg)
+        inverse = inverse_relation_functionality(tiny_kg)
+        for value in list(functionality.values()) + list(inverse.values()):
+            assert 0.0 < value <= 1.0
+
+    def test_locatedin_is_not_inverse_functional(self, tiny_kg):
+        # two different heads share the same tail "d"
+        inverse = inverse_relation_functionality(tiny_kg)
+        assert inverse["locatedIn"] == pytest.approx(0.5)
+
+    def test_pagerank_is_distribution(self, tiny_kg):
+        scores = entity_pagerank(tiny_kg, iterations=20)
+        assert scores.shape == (tiny_kg.num_entities,)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(scores > 0)
+
+
+class TestSampling:
+    def test_corrupt_tails_shape_and_heads_preserved(self, tiny_kg):
+        sampler = NegativeSampler(tiny_kg, seed=0)
+        negatives = sampler.corrupt_tails(tiny_kg.triple_array, num_negatives=2)
+        assert negatives.shape == (tiny_kg.num_triples * 2, 3)
+        assert np.all(negatives[:, 0] == np.repeat(tiny_kg.triple_array[:, 0], 2))
+
+    def test_corrupt_tails_avoids_true_triples_mostly(self, tiny_kg):
+        sampler = NegativeSampler(tiny_kg, seed=1)
+        true = {tuple(row) for row in tiny_kg.triple_array.tolist()}
+        negatives = sampler.corrupt_tails(tiny_kg.triple_array, num_negatives=3)
+        overlap = sum(1 for row in negatives.tolist() if tuple(row) in true)
+        assert overlap <= len(negatives) * 0.2
+
+    def test_corrupt_class_entities(self, tiny_kg):
+        sampler = NegativeSampler(tiny_kg, seed=0)
+        negatives = sampler.corrupt_class_entities(tiny_kg.type_array, num_negatives=1)
+        assert negatives.shape == tiny_kg.type_array.shape
+        assert np.all(negatives[:, 1] == tiny_kg.type_array[:, 1])
+
+    def test_empty_inputs(self, tiny_kg):
+        sampler = NegativeSampler(tiny_kg, seed=0)
+        assert sampler.corrupt_tails(np.empty((0, 3), dtype=np.int64)).shape == (0, 3)
+        assert sampler.corrupt_class_entities(np.empty((0, 2), dtype=np.int64)).shape == (0, 2)
+
+    @given(st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_corrupt_match_pairs_changes_exactly_one_side(self, num_negatives):
+        rng = np.random.default_rng(0)
+        matches = np.array([[0, 0], [1, 1], [2, 2]])
+        negatives = corrupt_match_pairs(matches, 10, 10, rng, num_negatives)
+        positives = np.repeat(matches, num_negatives, axis=0)
+        assert negatives.shape == positives.shape
+        same_both = np.all(negatives == positives, axis=1)
+        assert not same_both.any()

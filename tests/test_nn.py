@@ -1,0 +1,155 @@
+"""Tests for the nn toolkit: layers, initialisers, optimisers, module containers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import SGD, Adam, Embedding, FeedForward, Linear, Module, Parameter
+from repro.nn.init import identity_with_noise, uniform_unit_norm, xavier_uniform
+
+
+class TestInit:
+    def test_xavier_uniform_shape_and_range(self):
+        w = xavier_uniform((10, 20), rng=0)
+        limit = np.sqrt(6.0 / 30)
+        assert w.shape == (10, 20)
+        assert np.all(np.abs(w) <= limit + 1e-9)
+
+    def test_uniform_unit_norm_rows(self):
+        w = uniform_unit_norm((5, 8), rng=0)
+        assert np.allclose(np.linalg.norm(w, axis=1), 1.0)
+
+    def test_identity_with_noise_close_to_identity(self):
+        m = identity_with_noise(6, noise=0.01, rng=0)
+        assert np.allclose(m, np.eye(6), atol=0.02)
+
+
+class TestLayers:
+    def test_embedding_lookup_shape(self):
+        emb = Embedding(10, 4, rng=0)
+        assert emb(np.array([0, 3, 9])).shape == (3, 4)
+
+    def test_embedding_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+
+    def test_embedding_renormalize(self):
+        emb = Embedding(5, 3, rng=0, unit_norm=False)
+        emb.weight.data *= 10
+        emb.renormalize()
+        assert np.allclose(np.linalg.norm(emb.weight.data, axis=1), 1.0)
+
+    def test_linear_output_shape_and_bias(self):
+        lin = Linear(4, 2, rng=0)
+        out = lin(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_linear_without_bias(self):
+        lin = Linear(4, 2, bias=False, rng=0)
+        assert lin.bias is None
+
+    def test_feedforward_depth(self):
+        ffnn = FeedForward(4, 8, 2, num_hidden_layers=2, rng=0)
+        assert len(ffnn.layers) == 3
+        assert ffnn(Tensor(np.ones((5, 4)))).shape == (5, 2)
+
+    def test_feedforward_rejects_negative_layers(self):
+        with pytest.raises(ValueError):
+            FeedForward(4, 8, 2, num_hidden_layers=-1)
+
+
+class TestModule:
+    def test_parameters_are_collected_recursively_and_deduplicated(self):
+        class Wrapper(Module):
+            def __init__(self):
+                self.layer = Linear(3, 3, rng=0)
+                self.same = self.layer  # shared reference must not duplicate
+                self.items = [Parameter(np.zeros(2))]
+                self.table = {"p": Parameter(np.ones(2))}
+
+        module = Wrapper()
+        params = module.parameters()
+        assert len(params) == 4  # weight, bias, list param, dict param
+
+    def test_num_parameters_counts_scalars(self):
+        lin = Linear(3, 2, rng=0)
+        assert lin.num_parameters() == 3 * 2 + 2
+
+    def test_state_dict_roundtrip(self):
+        lin = Linear(3, 2, rng=0)
+        state = lin.state_dict()
+        lin.weight.data += 1.0
+        lin.load_state_dict(state)
+        assert np.allclose(lin.weight.data, state["weight"])
+
+    def test_load_state_dict_rejects_unknown_keys(self):
+        lin = Linear(3, 2, rng=0)
+        with pytest.raises(KeyError):
+            lin.load_state_dict({"nope": np.zeros(1)})
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        lin = Linear(3, 2, rng=0)
+        state = lin.state_dict()
+        state["weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            lin.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        lin = Linear(3, 1, rng=0)
+        out = lin(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+
+def _train_quadratic(optimizer_factory, steps=200):
+    param = Parameter(np.array([5.0, -3.0]))
+    optimizer = optimizer_factory([param])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((param - Tensor(np.array([1.0, 2.0]))) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+    return param.data
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        final = _train_quadratic(lambda p: SGD(p, lr=0.1), steps=300)
+        assert np.allclose(final, [1.0, 2.0], atol=1e-2)
+
+    def test_sgd_with_momentum_converges(self):
+        final = _train_quadratic(lambda p: SGD(p, lr=0.05, momentum=0.9), steps=300)
+        assert np.allclose(final, [1.0, 2.0], atol=1e-2)
+
+    def test_adam_converges_on_quadratic(self):
+        final = _train_quadratic(lambda p: Adam(p, lr=0.1), steps=300)
+        assert np.allclose(final, [1.0, 2.0], atol=1e-2)
+
+    def test_adam_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (param * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_optimizer_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_sgd_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_step_skips_parameters_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        optimizer.step()  # no backward was run; should not raise
+        assert param.data[0] == pytest.approx(1.0)
