@@ -96,24 +96,29 @@ class ActiveLearningLoop:
         return self._pool
 
     def _probability_lookup(self, pool: ElementPairPool) -> dict[ElementPair, float]:
+        """Calibrated probability per pool pair, via vectorized array gathers.
+
+        Similarity matrices come from the model's SimilarityEngine (cached
+        between optimiser steps) and each kind's probabilities are read with
+        one fancy-indexing gather instead of a Python loop over pairs.
+        """
+        engine = self.model.similarity
         lookup: dict[ElementPair, float] = {}
-        matrices = {
-            ElementKind.ENTITY: self.calibrator.probability_matrix(
-                self.model.entity_similarity_matrix(), ElementKind.ENTITY
-            ),
-            ElementKind.RELATION: self.calibrator.probability_matrix(
-                self.model.relation_similarity_matrix(), ElementKind.RELATION
-            ),
-            ElementKind.CLASS: self.calibrator.probability_matrix(
-                self.model.class_similarity_matrix(), ElementKind.CLASS
-            ),
-        }
-        for pair in pool.all_pairs:
-            matrix = matrices[pair.kind]
-            if matrix.size:
-                lookup[pair] = float(matrix[pair.left, pair.right])
-            else:
-                lookup[pair] = 0.0
+        groups = (
+            (ElementKind.ENTITY, pool.entity_pairs),
+            (ElementKind.RELATION, pool.relation_pairs),
+            (ElementKind.CLASS, pool.class_pairs),
+        )
+        for kind, pairs in groups:
+            if not pairs:
+                continue
+            matrix = self.calibrator.probability_matrix(engine.matrix(kind), kind)
+            if not matrix.size:
+                lookup.update((pair, 0.0) for pair in pairs)
+                continue
+            lefts = np.fromiter((p.left for p in pairs), dtype=np.int64, count=len(pairs))
+            rights = np.fromiter((p.right for p in pairs), dtype=np.int64, count=len(pairs))
+            lookup.update(zip(pairs, matrix[lefts, rights].tolist()))
         return lookup
 
     def _build_state(self) -> SelectionState:
@@ -152,13 +157,18 @@ class ActiveLearningLoop:
 
     # ------------------------------------------------------------- evaluation
     def evaluate(self) -> tuple[AlignmentScores, AlignmentScores, AlignmentScores]:
-        """Scores on the unseen test entity matches and all schema matches."""
+        """Scores on the unseen test entity matches and all schema matches.
+
+        Reads through the SimilarityEngine, so evaluation reuses any matrix
+        already computed since the last optimiser step.
+        """
+        engine = self.model.similarity
         test_ids = self.pair.entity_match_ids(self.pair.test_entity_pairs)
-        entity = evaluate_alignment(self.model.entity_similarity_matrix(), test_ids)
+        entity = evaluate_alignment(engine.matrix(ElementKind.ENTITY), test_ids)
         relation = evaluate_alignment(
-            self.model.relation_similarity_matrix(), self.pair.relation_match_ids()
+            engine.matrix(ElementKind.RELATION), self.pair.relation_match_ids()
         )
-        cls = evaluate_alignment(self.model.class_similarity_matrix(), self.pair.class_match_ids())
+        cls = evaluate_alignment(engine.matrix(ElementKind.CLASS), self.pair.class_match_ids())
         return entity, relation, cls
 
     # -------------------------------------------------------------------- run

@@ -10,7 +10,7 @@ other), plus every relation pair and every class pair.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.alignment.model import JointAlignmentModel
 from repro.inference.pairs import ElementPair, class_pair, entity_pair, relation_pair
 from repro.kg.elements import ElementKind
 from repro.kg.graph import KnowledgeGraph
-from repro.utils.math import cosine_similarity_matrix
+from repro.utils.math import cosine_similarity_matrix, top_k_rows
 
 
 @dataclass(frozen=True)
@@ -34,17 +34,23 @@ class PoolConfig:
             raise ValueError("top_n must be >= 1")
 
 
-@dataclass
+@dataclass(frozen=True)
 class ElementPairPool:
-    """The candidate element pairs active learning may ask the oracle about."""
+    """The candidate element pairs active learning may ask the oracle about.
 
-    entity_pairs: list[ElementPair] = field(default_factory=list)
-    relation_pairs: list[ElementPair] = field(default_factory=list)
-    class_pairs: list[ElementPair] = field(default_factory=list)
+    Immutable: the pair sequences are normalised to tuples at construction, so
+    the membership sets built in ``__post_init__`` can never silently go stale
+    (mutating a pair list after construction used to desynchronise
+    ``__contains__`` and ``recall_of_matches`` from the lists).
+    """
+
+    entity_pairs: tuple[ElementPair, ...] = ()
+    relation_pairs: tuple[ElementPair, ...] = ()
+    class_pairs: tuple[ElementPair, ...] = ()
 
     @property
     def all_pairs(self) -> list[ElementPair]:
-        return self.entity_pairs + self.relation_pairs + self.class_pairs
+        return list(self.entity_pairs) + list(self.relation_pairs) + list(self.class_pairs)
 
     def __len__(self) -> int:
         return len(self.entity_pairs) + len(self.relation_pairs) + len(self.class_pairs)
@@ -57,9 +63,12 @@ class ElementPairPool:
         return pair in self._class_set
 
     def __post_init__(self) -> None:
-        self._entity_set = set(self.entity_pairs)
-        self._relation_set = set(self.relation_pairs)
-        self._class_set = set(self.class_pairs)
+        object.__setattr__(self, "entity_pairs", tuple(self.entity_pairs))
+        object.__setattr__(self, "relation_pairs", tuple(self.relation_pairs))
+        object.__setattr__(self, "class_pairs", tuple(self.class_pairs))
+        object.__setattr__(self, "_entity_set", frozenset(self.entity_pairs))
+        object.__setattr__(self, "_relation_set", frozenset(self.relation_pairs))
+        object.__setattr__(self, "_class_set", frozenset(self.class_pairs))
 
     def entity_pair_set(self) -> set[tuple[int, int]]:
         return {(p.left, p.right) for p in self.entity_pairs}
@@ -119,9 +128,10 @@ def build_pool(model: JointAlignmentModel, config: PoolConfig | None = None) -> 
     """Build the element pair pool from the current joint alignment model."""
     config = config or PoolConfig()
     kg1, kg2 = model.kg1, model.kg2
-    snap = model.snapshot
-    relation_similarity = model.relation_similarity_matrix()
-    class_similarity = model.class_similarity_matrix()
+    engine = model.similarity
+    snap = engine.snapshot
+    relation_similarity = engine.matrix(ElementKind.RELATION)
+    class_similarity = engine.matrix(ElementKind.CLASS)
     rel_weights_1 = relation_similarity.max(axis=1) if relation_similarity.size else np.zeros(kg1.num_relations)
     rel_weights_2 = relation_similarity.max(axis=0) if relation_similarity.size else np.zeros(kg2.num_relations)
     cls_weights_1 = class_similarity.max(axis=1) if class_similarity.size else np.zeros(kg1.num_classes)
@@ -135,16 +145,18 @@ def build_pool(model: JointAlignmentModel, config: PoolConfig | None = None) -> 
     )
     similarity = cosine_similarity_matrix(signatures_1, signatures_2)
 
-    top_n = min(config.top_n, kg2.num_entities)
-    top_n_rev = min(config.top_n, kg1.num_entities)
-    top_for_left = np.argsort(-similarity, axis=1)[:, :top_n]
-    top_for_right = np.argsort(-similarity.T, axis=1)[:, :top_n_rev]
-    right_sets = [set(row.tolist()) for row in top_for_right]
-    entity_pairs = []
-    for left in range(kg1.num_entities):
-        for right in top_for_left[left]:
-            if left in right_sets[int(right)]:
-                entity_pairs.append(entity_pair(left, int(right)))
+    # Mutual top-N filter, vectorized: a pair survives when each side ranks
+    # the other, i.e. both boolean membership masks are set.
+    top_for_left = top_k_rows(similarity, config.top_n)
+    top_for_right = top_k_rows(similarity.T, config.top_n)
+    in_left_top = np.zeros(similarity.shape, dtype=bool)
+    if top_for_left.size:
+        in_left_top[np.arange(kg1.num_entities)[:, None], top_for_left] = True
+    in_right_top = np.zeros(similarity.shape, dtype=bool)
+    if top_for_right.size:
+        in_right_top[top_for_right, np.arange(kg2.num_entities)[:, None]] = True
+    lefts, rights = np.nonzero(in_left_top & in_right_top)
+    entity_pairs = [entity_pair(int(a), int(b)) for a, b in zip(lefts, rights)]
 
     relation_pairs = (
         [relation_pair(a, b) for a in range(kg1.num_relations) for b in range(kg2.num_relations)]
@@ -156,4 +168,4 @@ def build_pool(model: JointAlignmentModel, config: PoolConfig | None = None) -> 
         if config.include_class_pairs
         else []
     )
-    return ElementPairPool(entity_pairs, relation_pairs, class_pairs)
+    return ElementPairPool(tuple(entity_pairs), tuple(relation_pairs), tuple(class_pairs))

@@ -32,13 +32,13 @@ from repro.alignment.mean_embeddings import (
     mean_relation_embeddings,
 )
 from repro.alignment.propagation import StructuralPropagation
+from repro.alignment.similarity import SimilarityEngine, blocked_cosine_similarity
 from repro.embedding.base import KGEmbeddingModel
 from repro.embedding.entity_class import EntityClassScorer
 from repro.kg.elements import ElementKind
 from repro.kg.pair import AlignedKGPair
 from repro.nn.init import identity_with_noise
 from repro.nn.module import Module, Parameter
-from repro.utils.math import cosine_similarity_matrix
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -98,6 +98,9 @@ class JointAlignmentModel(Module):
         )
         self._landmarks = np.empty((0, 2), dtype=np.int64)
         self._structural_similarity: np.ndarray | None = None
+        self._snapshot_version = 0
+        self._landmark_version = 0
+        self.similarity = SimilarityEngine(self)
 
         entity_dim = model1.dim
         relation_dim = model1.relation_matrix().shape[1] if self.kg1.num_relations else entity_dim
@@ -123,10 +126,14 @@ class JointAlignmentModel(Module):
             r1 = self.model1.relation_matrix()
             r2 = self.model2.relation_matrix()
             mapped = e1 @ self.map_entity.data
-            sim = cosine_similarity_matrix(mapped, e2)
+            embedding_channel = blocked_cosine_similarity(
+                mapped, e2, self.similarity.block_size
+            )
             structural = self.structural_similarity_matrix()
             if structural is not None:
-                sim = np.maximum(sim, structural)
+                sim = np.maximum(embedding_channel, structural)
+            else:
+                sim = embedding_channel
             w1, w2 = entity_weights(sim)
             mean_rel1 = mean_relation_embeddings(self.kg1, self.model1, e1, w1)
             mean_rel2 = mean_relation_embeddings(self.kg2, self.model2, e2, w2)
@@ -144,6 +151,10 @@ class JointAlignmentModel(Module):
             mean_classes_1=mean_cls1,
             mean_classes_2=mean_cls2,
         )
+        self._snapshot_version += 1
+        # The entity similarity just computed for the weights is exactly what
+        # entity_similarity_matrix() would rebuild — seed the engine instead.
+        self.similarity.seed_entity_cache(embedding_channel, sim)
         return self._snapshot
 
     @property
@@ -217,8 +228,12 @@ class JointAlignmentModel(Module):
         mined potential matches whenever statistics are refreshed; the channel
         is recomputed lazily by :meth:`entity_similarity_matrix`.
         """
-        self._landmarks = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if np.array_equal(pairs, self._landmarks):
+            return  # unchanged landmarks must not invalidate cached matrices
+        self._landmarks = pairs
         self._structural_similarity = None
+        self._landmark_version += 1
 
     def structural_similarity_matrix(self) -> np.ndarray | None:
         """The propagation channel for the current landmarks (None if disabled)."""
@@ -229,12 +244,29 @@ class JointAlignmentModel(Module):
         return self._structural_similarity
 
     # ------------------------------------------------------ similarity matrices
+    # All full-matrix computation lives in the SimilarityEngine, which caches
+    # results behind the (parameter_version, state_version) token; these
+    # wrappers keep the historical API.  Returned matrices are shared cache
+    # entries — treat them as read-only.
+    @property
+    def snapshot_version(self) -> int:
+        """Bumped by ``refresh_statistics``; part of every engine cache token."""
+        return self._snapshot_version
+
+    @property
+    def landmark_version(self) -> int:
+        """Bumped by effective ``set_landmarks`` calls; only the entity matrix
+        depends on it (through the structural propagation channel)."""
+        return self._landmark_version
+
+    @property
+    def state_version(self) -> tuple[int, int]:
+        """Combined (snapshot, landmark) version of the non-parameter state."""
+        return (self._snapshot_version, self._landmark_version)
+
     def embedding_entity_similarity_matrix(self) -> np.ndarray:
         """The embedding channel only: ``cos(A_ent · e, e')`` for all pairs."""
-        snap = self.snapshot
-        with no_grad():
-            mapped = snap.entity_matrix_1 @ self.map_entity.data
-            return cosine_similarity_matrix(mapped, snap.entity_matrix_2)
+        return self.similarity.embedding_entity_matrix()
 
     def entity_similarity_matrix(self) -> np.ndarray:
         """Full ``|E1| × |E2|`` similarity matrix (NumPy, no gradients).
@@ -243,59 +275,18 @@ class JointAlignmentModel(Module):
         channel and the structural propagation channel, mirroring how the
         schema similarities combine their direct and mean-embedding channels.
         """
-        embedding_channel = self.embedding_entity_similarity_matrix()
-        structural = self.structural_similarity_matrix()
-        if structural is None:
-            return embedding_channel
-        return np.maximum(embedding_channel, structural)
+        return self.similarity.matrix(ElementKind.ENTITY)
 
     def relation_similarity_matrix(self) -> np.ndarray:
         """Full ``|R1| × |R2|`` similarity matrix using both channels."""
-        snap = self.snapshot
-        with no_grad():
-            direct = cosine_similarity_matrix(
-                snap.relation_matrix_1 @ self.map_relation.data, snap.relation_matrix_2
-            )
-            if not self.use_mean_embeddings:
-                return direct
-            mean_sim = cosine_similarity_matrix(
-                snap.mean_relations_1 @ self.map_entity.data, snap.mean_relations_2
-            )
-            return np.maximum(direct, mean_sim)
+        return self.similarity.matrix(ElementKind.RELATION)
 
     def class_similarity_matrix(self) -> np.ndarray:
         """Full ``|C1| × |C2|`` similarity matrix using the configured channels."""
-        snap = self.snapshot
-        if self.kg1.num_classes == 0 or self.kg2.num_classes == 0:
-            return np.zeros((self.kg1.num_classes, self.kg2.num_classes))
-        with no_grad():
-            channels: list[np.ndarray] = []
-            if self.use_class_embeddings:
-                c1 = self.class_scorer1.all_class_embeddings().numpy()
-                c2 = self.class_scorer2.all_class_embeddings().numpy()
-                channels.append(cosine_similarity_matrix(c1 @ self.map_class.data, c2))
-            elif self.class_entity_maps is not None:
-                map1, map2 = self.class_entity_maps
-                e1 = snap.entity_matrix_1[map1] @ self.map_entity.data
-                e2 = snap.entity_matrix_2[map2]
-                channels.append(cosine_similarity_matrix(e1, e2))
-            if self.use_mean_embeddings:
-                channels.append(
-                    cosine_similarity_matrix(
-                        snap.mean_classes_1 @ self.map_entity.data, snap.mean_classes_2
-                    )
-                )
-            result = channels[0]
-            for channel in channels[1:]:
-                result = np.maximum(result, channel)
-            return result
+        return self.similarity.matrix(ElementKind.CLASS)
 
     def similarity_matrix(self, kind: ElementKind) -> np.ndarray:
-        if kind is ElementKind.ENTITY:
-            return self.entity_similarity_matrix()
-        if kind is ElementKind.RELATION:
-            return self.relation_similarity_matrix()
-        return self.class_similarity_matrix()
+        return self.similarity.matrix(kind)
 
     # -------------------------------------------------------------- utilities
     def entity_weight_vectors(self) -> tuple[np.ndarray, np.ndarray]:

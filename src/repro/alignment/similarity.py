@@ -1,0 +1,266 @@
+"""The :class:`SimilarityEngine`: cached, blocked similarity computation.
+
+Every hot path of the active alignment loop — hard-negative mining,
+semi-supervised mining, calibrated probability lookups, pool building and
+progressive evaluation — needs the full ``|X1| × |X2|`` similarity matrix of
+one element kind.  Before this engine existed each call site recomputed the
+matrix from scratch, which dominated the runtime benchmarks; the engine makes
+every matrix a cheap cached lookup between parameter updates.
+
+Caching / versioning contract
+-----------------------------
+
+A cached matrix is valid for a *version token*:
+
+* ``parameter_version`` — the global counter in :mod:`repro.nn.optim`, bumped
+  by every ``Adam.step`` / ``SGD.step`` (and by ``Module.load_state_dict``).
+  Any optimiser step therefore invalidates all cached matrices — stale
+  similarities are never served.
+* ``model.snapshot_version`` — bumped by
+  :meth:`JointAlignmentModel.refresh_statistics`, which rebuilds the NumPy
+  snapshot (mean embeddings, weights) every matrix depends on.
+* ``model.landmark_version`` — bumped by effective
+  :meth:`JointAlignmentModel.set_landmarks` calls.  Only the combined entity
+  matrix is keyed on it (through the structural propagation channel);
+  relation/class matrices survive landmark updates untouched.
+
+Between two bumps the engine serves the same ``np.ndarray`` object over and
+over (treat returned matrices as read-only); within one optimiser step a
+matrix is computed at most once, no matter how many call sites ask for it.
+``refresh_statistics`` additionally *seeds* the entity cache with the matrix
+it computes internally for the dangling-entity weights, so one training round
+pays for a single entity-matrix computation in total.
+
+``top_k(kind, k)`` layers a second cache on top: per-row / per-column top-``k``
+candidate indices via ``np.argpartition`` (O(n) per row) instead of the full
+``argsort`` (O(n log n)) the call sites used previously.
+
+Matrices are assembled in row blocks of ``block_size`` so the normalised
+intermediate products stay cache- and memory-friendly on large vocabularies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.kg.elements import ElementKind
+from repro.nn.optim import parameter_version
+from repro.utils.math import cosine_similarity_matrix, l2_normalize, top_k_rows
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with model.py
+    from repro.alignment.model import AlignmentSnapshot, JointAlignmentModel
+
+DEFAULT_BLOCK_SIZE = 4096
+
+# Cache key for the embedding-only entity channel (no structural max).
+_ENTITY_EMBEDDING_CHANNEL = "entity_embedding_channel"
+
+
+def blocked_cosine_similarity(
+    a: np.ndarray, b: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE
+) -> np.ndarray:
+    """Pairwise cosine similarities between rows of ``a`` and ``b``, in blocks.
+
+    Delegates to :func:`repro.utils.math.cosine_similarity_matrix` when one
+    block suffices; otherwise computes the ``(len(a), len(b))`` product
+    ``block_size`` rows at a time, bounding the working set for large
+    vocabularies.
+    """
+    if np.asarray(a).shape[0] <= block_size:
+        return cosine_similarity_matrix(a, b)
+    a_n = l2_normalize(np.asarray(a, dtype=float))
+    b_n = l2_normalize(np.asarray(b, dtype=float))
+    out = np.empty((a_n.shape[0], b_n.shape[0]))
+    for start in range(0, a_n.shape[0], block_size):
+        stop = min(start + block_size, a_n.shape[0])
+        out[start:stop] = a_n[start:stop] @ b_n.T
+    return out
+
+
+class SimilarityEngine:
+    """Owns similarity matrices and top-k candidates for one alignment model.
+
+    One engine is created per :class:`JointAlignmentModel` (available as
+    ``model.similarity``); the trainer, the active loop, pool building and the
+    inference-power estimator all read through it.
+    """
+
+    def __init__(self, model: "JointAlignmentModel", block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.model = model
+        self.block_size = block_size
+        self._matrices: dict[object, tuple[tuple[int, int], np.ndarray]] = {}
+        self._top_k: dict[tuple[ElementKind, int], tuple[tuple[int, int], tuple[np.ndarray, np.ndarray]]] = {}
+        self.compute_counts: dict[ElementKind, int] = {kind: 0 for kind in ElementKind}
+        self.hit_counts: dict[ElementKind, int] = {kind: 0 for kind in ElementKind}
+
+    # ----------------------------------------------------------------- state
+    def state_token(self) -> tuple[int, int, int]:
+        """The full (parameter, snapshot, landmark) version triple."""
+        model = self.model
+        return (parameter_version(), model.snapshot_version, model.landmark_version)
+
+    def _token_for(self, key: object) -> tuple[int, ...]:
+        """The version token ``key`` depends on.
+
+        Only the combined entity matrix reads the structural channel, so only
+        it is keyed on the landmark version; relation/class matrices and the
+        embedding-only entity channel survive landmark updates.
+        """
+        if key is ElementKind.ENTITY:
+            return self.state_token()
+        return (parameter_version(), self.model.snapshot_version)
+
+    @property
+    def snapshot(self) -> "AlignmentSnapshot":
+        """The model's NumPy snapshot (single access point for consumers)."""
+        return self.model.snapshot
+
+    def invalidate(self) -> None:
+        """Drop every cached matrix and top-k table."""
+        self._matrices.clear()
+        self._top_k.clear()
+
+    # ----------------------------------------------------------------- cache
+    def _cached(self, key: object) -> np.ndarray | None:
+        entry = self._matrices.get(key)
+        if entry is not None and entry[0] == self._token_for(key):
+            return entry[1]
+        return None
+
+    def matrix(self, kind: ElementKind) -> np.ndarray:
+        """The full similarity matrix of ``kind`` (cached; treat as read-only)."""
+        cached = self._cached(kind)
+        if cached is not None:
+            self.hit_counts[kind] += 1
+            return cached
+        # Materialise the snapshot first: a lazy refresh_statistics seeds the
+        # entity cache, turning this miss into a hit instead of a recompute.
+        self.model.snapshot
+        cached = self._cached(kind)
+        if cached is not None:
+            self.hit_counts[kind] += 1
+            return cached
+        matrix = self._compute_matrix(kind)
+        # Token is read *after* computing: the computation may lazily refresh
+        # the snapshot, which bumps the model's snapshot version.
+        self._matrices[kind] = (self._token_for(kind), matrix)
+        self.compute_counts[kind] += 1
+        return matrix
+
+    def seed_entity_cache(self, embedding_channel: np.ndarray, combined: np.ndarray) -> None:
+        """Seed both entity caches from ``refresh_statistics``'s computation.
+
+        ``refresh_statistics`` already computes the entity similarity for the
+        dangling-entity weights; storing it here means the following round of
+        mining and evaluation gets cache hits for free.
+        """
+        self._matrices[_ENTITY_EMBEDDING_CHANNEL] = (
+            self._token_for(_ENTITY_EMBEDDING_CHANNEL),
+            embedding_channel,
+        )
+        self._matrices[ElementKind.ENTITY] = (self._token_for(ElementKind.ENTITY), combined)
+
+    def top_k(self, kind: ElementKind, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` counterpart indices per row and per column of ``kind``.
+
+        Returns ``(for_left, for_right)``: ``for_left[i]`` holds the ``k``
+        most similar KG2 elements of KG1 element ``i`` (descending), and
+        ``for_right[j]`` the ``k`` most similar KG1 elements of KG2 element
+        ``j``.  Cached under the same token as the underlying matrix.
+        """
+        key = (kind, k)
+        entry = self._top_k.get(key)
+        if entry is not None and entry[0] == self._token_for(kind):
+            return entry[1]
+        matrix = self.matrix(kind)
+        result = (top_k_rows(matrix, k), top_k_rows(matrix.T, k))
+        self._top_k[key] = (self._token_for(kind), result)
+        return result
+
+    # ----------------------------------------------------------- computation
+    def _compute_matrix(self, kind: ElementKind) -> np.ndarray:
+        if kind is ElementKind.ENTITY:
+            return self._entity_matrix()
+        if kind is ElementKind.RELATION:
+            return self._relation_matrix()
+        return self._class_matrix()
+
+    def embedding_entity_matrix(self) -> np.ndarray:
+        """The embedding channel only: ``cos(A_ent · e, e')`` for all pairs."""
+        cached = self._cached(_ENTITY_EMBEDDING_CHANNEL)
+        if cached is not None:
+            return cached
+        model = self.model
+        snap = model.snapshot  # may lazily refresh and seed this very cache
+        cached = self._cached(_ENTITY_EMBEDDING_CHANNEL)
+        if cached is not None:
+            return cached
+        with no_grad():
+            mapped = snap.entity_matrix_1 @ model.map_entity.data
+            matrix = blocked_cosine_similarity(mapped, snap.entity_matrix_2, self.block_size)
+        self._matrices[_ENTITY_EMBEDDING_CHANNEL] = (
+            self._token_for(_ENTITY_EMBEDDING_CHANNEL),
+            matrix,
+        )
+        return matrix
+
+    def _entity_matrix(self) -> np.ndarray:
+        embedding_channel = self.embedding_entity_matrix()
+        structural = self.model.structural_similarity_matrix()
+        if structural is None:
+            return embedding_channel
+        return np.maximum(embedding_channel, structural)
+
+    def _relation_matrix(self) -> np.ndarray:
+        model = self.model
+        snap = model.snapshot
+        with no_grad():
+            direct = blocked_cosine_similarity(
+                snap.relation_matrix_1 @ model.map_relation.data,
+                snap.relation_matrix_2,
+                self.block_size,
+            )
+            if not model.use_mean_embeddings:
+                return direct
+            mean_sim = blocked_cosine_similarity(
+                snap.mean_relations_1 @ model.map_entity.data,
+                snap.mean_relations_2,
+                self.block_size,
+            )
+            return np.maximum(direct, mean_sim)
+
+    def _class_matrix(self) -> np.ndarray:
+        model = self.model
+        if model.kg1.num_classes == 0 or model.kg2.num_classes == 0:
+            return np.zeros((model.kg1.num_classes, model.kg2.num_classes))
+        snap = model.snapshot
+        with no_grad():
+            channels: list[np.ndarray] = []
+            if model.use_class_embeddings:
+                c1 = model.class_scorer1.all_class_embeddings().numpy()
+                c2 = model.class_scorer2.all_class_embeddings().numpy()
+                channels.append(
+                    blocked_cosine_similarity(c1 @ model.map_class.data, c2, self.block_size)
+                )
+            elif model.class_entity_maps is not None:
+                map1, map2 = model.class_entity_maps
+                e1 = snap.entity_matrix_1[map1] @ model.map_entity.data
+                e2 = snap.entity_matrix_2[map2]
+                channels.append(blocked_cosine_similarity(e1, e2, self.block_size))
+            if model.use_mean_embeddings:
+                channels.append(
+                    blocked_cosine_similarity(
+                        snap.mean_classes_1 @ model.map_entity.data,
+                        snap.mean_classes_2,
+                        self.block_size,
+                    )
+                )
+            result = channels[0]
+            for channel in channels[1:]:
+                result = np.maximum(result, channel)
+            return result

@@ -69,7 +69,12 @@ class AlignmentTrainingConfig:
 
 @dataclass
 class LabelStore:
-    """Labelled matches and non-matches per element kind (index pairs)."""
+    """Labelled matches and non-matches per element kind (index pairs).
+
+    Each ordered list is shadowed by a set so :meth:`add` is O(1) — with the
+    old list-membership check, label ingestion was quadratic over an active
+    learning campaign.  The lists remain the public, insertion-ordered view.
+    """
 
     matches: dict[ElementKind, list[tuple[int, int]]] = field(
         default_factory=lambda: {k: [] for k in _KINDS}
@@ -78,9 +83,18 @@ class LabelStore:
         default_factory=lambda: {k: [] for k in _KINDS}
     )
 
+    def __post_init__(self) -> None:
+        self._match_sets = {kind: set(pairs) for kind, pairs in self.matches.items()}
+        self._non_match_sets = {kind: set(pairs) for kind, pairs in self.non_matches.items()}
+
     def add(self, kind: ElementKind, pair: tuple[int, int], is_match: bool) -> None:
-        store = self.matches if is_match else self.non_matches
-        if pair not in store[kind]:
+        store, index = (
+            (self.matches, self._match_sets)
+            if is_match
+            else (self.non_matches, self._non_match_sets)
+        )
+        if pair not in index[kind]:
+            index[kind].add(pair)
             store[kind].append(pair)
 
     def match_array(self, kind: ElementKind) -> np.ndarray:
@@ -92,7 +106,7 @@ class LabelStore:
         return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
 
     def labelled_pairs(self, kind: ElementKind) -> set[tuple[int, int]]:
-        return set(self.matches[kind]) | set(self.non_matches[kind])
+        return self._match_sets[kind] | self._non_match_sets[kind]
 
     def num_labels(self) -> int:
         return sum(len(v) for v in self.matches.values()) + sum(
@@ -110,6 +124,7 @@ class JointAlignmentTrainer:
         seed: RandomState = None,
     ) -> None:
         self.model = model
+        self.engine = model.similarity
         self.config = config or AlignmentTrainingConfig()
         self.rng = ensure_rng(seed)
         self.labels = LabelStore()
@@ -137,31 +152,79 @@ class JointAlignmentTrainer:
             return self.model.kg1.num_relations, self.model.kg2.num_relations
         return self.model.kg1.num_classes, self.model.kg2.num_classes
 
+    @staticmethod
+    def _avoid_positive(
+        candidates: np.ndarray,
+        positives: np.ndarray,
+        top: np.ndarray,
+        anchors: np.ndarray,
+        slots: np.ndarray,
+        num_counterparts: int,
+    ) -> np.ndarray:
+        """Replace candidates that collide with their positive counterpart.
+
+        A colliding draw is replaced by the anchor's *next* hard candidate,
+        which stays inside the mined pool (the old ``(candidate + 1) % n``
+        bump jumped to an arbitrary entity id).  Only when the pool has a
+        single column can the replacement still collide; then fall back to the
+        neighbouring id, which differs from the positive whenever ``n > 1``.
+        """
+        collide = candidates == positives
+        if not np.any(collide):
+            return candidates
+        pool = top.shape[1]
+        replacement = top[anchors[collide], (slots[collide] + 1) % pool]
+        still = replacement == positives[collide]
+        if np.any(still):
+            replacement[still] = (positives[collide][still] + 1) % max(num_counterparts, 1)
+        candidates[collide] = replacement
+        return candidates
+
     def _hard_negatives(self, matches: np.ndarray, num_negatives: int) -> np.ndarray:
         """Entity negatives drawn from each entity's most similar counterparts.
 
         Hard sample mining sharpens the mapping matrix far more than uniform
         corruption (the role Dual-AMN attributes to normalised hard samples);
-        the candidate lists come from the last similarity snapshot.
+        the candidate lists come from the engine's cached top-k tables.  Fully
+        vectorized: one coin-flip array decides the corrupted side, one slot
+        array picks candidates, and collisions with the positive counterpart
+        are repaired in bulk.
         """
-        if self._hard_candidates is None:
+        if self._hard_candidates is None or matches.size == 0:
             return np.empty((0, 2), dtype=np.int64)
         top_for_left, top_for_right = self._hard_candidates
-        negatives = []
-        pool = top_for_left.shape[1]
-        for left, right in matches:
-            for _ in range(num_negatives):
-                if self.rng.random() < 0.5:
-                    candidate = int(top_for_left[left, int(self.rng.integers(0, pool))])
-                    if candidate == right:
-                        candidate = (candidate + 1) % self.model.kg2.num_entities
-                    negatives.append((left, candidate))
-                else:
-                    candidate = int(top_for_right[right, int(self.rng.integers(0, pool))])
-                    if candidate == left:
-                        candidate = (candidate + 1) % self.model.kg1.num_entities
-                    negatives.append((candidate, right))
-        return np.asarray(negatives, dtype=np.int64).reshape(-1, 2)
+        total = matches.shape[0] * num_negatives
+        lefts = np.repeat(matches[:, 0], num_negatives)
+        rights = np.repeat(matches[:, 1], num_negatives)
+        corrupt_right = self.rng.random(total) < 0.5
+        num_corrupt_right = int(corrupt_right.sum())
+        # each side draws slots over its own table width — the tables can be
+        # narrower than the configured pool when a KG is small
+        slots = np.empty(total, dtype=np.int64)
+        slots[corrupt_right] = self.rng.integers(
+            0, top_for_left.shape[1], size=num_corrupt_right
+        )
+        slots[~corrupt_right] = self.rng.integers(
+            0, top_for_right.shape[1], size=total - num_corrupt_right
+        )
+        negatives = np.empty((total, 2), dtype=np.int64)
+
+        mask = corrupt_right
+        candidates = top_for_left[lefts[mask], slots[mask]]
+        negatives[mask, 0] = lefts[mask]
+        negatives[mask, 1] = self._avoid_positive(
+            candidates, rights[mask], top_for_left, lefts[mask], slots[mask],
+            self.model.kg2.num_entities,
+        )
+
+        mask = ~corrupt_right
+        candidates = top_for_right[rights[mask], slots[mask]]
+        negatives[mask, 0] = self._avoid_positive(
+            candidates, lefts[mask], top_for_right, rights[mask], slots[mask],
+            self.model.kg1.num_entities,
+        )
+        negatives[mask, 1] = rights[mask]
+        return negatives
 
     def _match_loss(self, kind: ElementKind, matches: np.ndarray, focal: bool):
         """Pairwise softmax (or focal) loss over matches and sampled corruptions."""
@@ -307,28 +370,31 @@ class JointAlignmentTrainer:
         return np.asarray(sorted(set(pairs)), dtype=np.int64)
 
     def _refresh_round_state(self) -> None:
-        """Refresh landmarks, statistics, hard negatives and semi-supervision."""
+        """Refresh landmarks, statistics, hard negatives and semi-supervision.
+
+        ``refresh_statistics`` seeds the engine's entity cache, so mining hard
+        candidates and potential matches below reuses one entity matrix.
+        """
         self.model.set_landmarks(self._current_entity_landmarks())
         self.model.refresh_statistics()
-        self._refresh_hard_candidates(self.model.entity_similarity_matrix())
+        self._refresh_hard_candidates()
         if self.config.semi_supervised:
             self._refresh_semi_supervision()
             self.model.set_landmarks(self._current_entity_landmarks())
 
-    def _refresh_hard_candidates(self, entity_similarity: np.ndarray) -> None:
+    def _refresh_hard_candidates(self) -> None:
         """Cache each entity's most similar counterparts for hard negative mining."""
-        pool = min(self.config.hard_negative_pool, max(entity_similarity.shape[1] - 1, 1))
-        if entity_similarity.size == 0 or pool <= 0 or self.config.hard_negative_fraction == 0:
+        num_right = self.model.kg2.num_entities
+        pool = min(self.config.hard_negative_pool, max(num_right - 1, 1))
+        if num_right == 0 or pool <= 0 or self.config.hard_negative_fraction == 0:
             self._hard_candidates = None
             return
-        top_for_left = np.argsort(-entity_similarity, axis=1)[:, :pool]
-        top_for_right = np.argsort(-entity_similarity.T, axis=1)[:, :pool]
-        self._hard_candidates = (top_for_left, top_for_right)
+        self._hard_candidates = self.engine.top_k(ElementKind.ENTITY, pool)
 
     def _refresh_semi_supervision(self) -> None:
         """Mine potential matches above ``τ`` for every element kind."""
         for kind in _KINDS:
-            sim = self.model.similarity_matrix(kind)
+            sim = self.engine.matrix(kind)
             labelled = self.labels.labelled_pairs(kind)
             matched_left = {left for left, _ in self.labels.matches[kind]}
             matched_right = {right for _, right in self.labels.matches[kind]}

@@ -75,17 +75,10 @@ class InferencePowerEstimator:
         self.graph = graph
         self.config = config or InferencePowerConfig()
         self.rng = ensure_rng(rng)
-        snap = model.snapshot
-        self._entity_matrix_1 = snap.entity_matrix_1
-        self._entity_matrix_2 = snap.entity_matrix_2
-        self._relation_matrix_1 = snap.relation_matrix_1
-        self._relation_matrix_2 = snap.relation_matrix_2
-        self._weights_1 = snap.weights_1
-        self._weights_2 = snap.weights_2
-        self._mean_classes_1 = snap.mean_classes_1
-        self._mean_classes_2 = snap.mean_classes_2
-        self._mean_relations_1 = snap.mean_relations_1
-        self._mean_relations_2 = snap.mean_relations_2
+        # Snapshot arrays are read through the model's SimilarityEngine (the
+        # single access point for cached NumPy state) instead of being copied
+        # field by field into the estimator.
+        self._snap = model.similarity.snapshot
         self._map_entity = model.map_entity.data
         self._tail_cache_1: dict[tuple[int, int], tuple[np.ndarray, float]] = {}
         self._tail_cache_2: dict[tuple[int, int], tuple[np.ndarray, float]] = {}
@@ -94,14 +87,18 @@ class InferencePowerEstimator:
 
     # ----------------------------------------------------------- edge costs
     def _tail_solution(self, side: int, head_idx: int, relation_idx: int) -> tuple[np.ndarray, float]:
+        """``(translation, bound)`` of one tail solve; side-1 translations are
+        cached pre-mapped through ``A_ent`` so the per-edge cost below is a
+        plain vector subtraction instead of a matrix-vector product."""
         cache = self._tail_cache_1 if side == 1 else self._tail_cache_2
         key = (head_idx, relation_idx)
         if key in cache:
             return cache[key]
+        snap = self._snap
         if side == 1:
-            model, entities, relations = self.model.model1, self._entity_matrix_1, self._relation_matrix_1
+            model, entities, relations = self.model.model1, snap.entity_matrix_1, snap.relation_matrix_1
         else:
-            model, entities, relations = self.model.model2, self._entity_matrix_2, self._relation_matrix_2
+            model, entities, relations = self.model.model2, snap.entity_matrix_2, snap.relation_matrix_2
         solution = model.solve_tail(
             entities[head_idx],
             relations[relation_idx],
@@ -110,7 +107,10 @@ class InferencePowerEstimator:
             num_steps=self.config.solver_steps,
             rng=self.rng,
         )
-        result = (solution.translation, solution.bound)
+        translation = solution.translation
+        if side == 1:
+            translation = self._map_entity.T @ translation
+        result = (translation, solution.bound)
         cache[key] = result
         return result
 
@@ -120,14 +120,12 @@ class InferencePowerEstimator:
         ``zero_relation_difference`` implements Eq. 20: when the relation pair
         itself is labelled as a match, the relation difference term vanishes.
         """
-        translation_1, bound_1 = self._tail_solution(1, edge.source.left, edge.relation.left)
+        mapped_translation_1, bound_1 = self._tail_solution(1, edge.source.left, edge.relation.left)
         translation_2, bound_2 = self._tail_solution(2, edge.source.right, edge.relation.right)
         if zero_relation_difference:
             relation_difference = 0.0
         else:
-            relation_difference = float(
-                np.linalg.norm(self._map_entity.T @ translation_1 - translation_2)
-            )
+            relation_difference = float(np.linalg.norm(mapped_translation_1 - translation_2))
         return relation_difference + bound_1 + bound_2
 
     def edge_power(self, edge: AlignmentEdge, zero_relation_difference: bool = False) -> float:
@@ -198,15 +196,15 @@ class InferencePowerEstimator:
         for c_pair in self.graph.classes_of_entity_pair.get(source, []):
             left_members = self.model.kg1.entities_of_class(c_pair.left)
             right_members = self.model.kg2.entities_of_class(c_pair.right)
-            weight_sum_1 = float(np.sum(self._weights_1[left_members])) if left_members else 0.0
-            weight_sum_2 = float(np.sum(self._weights_2[right_members])) if right_members else 0.0
+            weight_sum_1 = float(np.sum(self._snap.weights_1[left_members])) if left_members else 0.0
+            weight_sum_2 = float(np.sum(self._snap.weights_2[right_members])) if right_members else 0.0
             if weight_sum_1 < 1e-9 or weight_sum_2 < 1e-9:
                 continue
-            a = self._map_entity.T @ self._mean_classes_1[c_pair.left]
-            b = self._mean_classes_2[c_pair.right]
+            a = self._map_entity.T @ self._snap.mean_classes_1[c_pair.left]
+            b = self._snap.mean_classes_2[c_pair.right]
             grad_a, grad_b = _cosine_gradient(a, b)
-            grad_left = (self._weights_1[source.left] / weight_sum_1) * (self._map_entity @ grad_a)
-            grad_right = (self._weights_2[source.right] / weight_sum_2) * grad_b
+            grad_left = (self._snap.weights_1[source.left] / weight_sum_1) * (self._map_entity @ grad_a)
+            grad_right = (self._snap.weights_2[source.right] / weight_sum_2) * grad_b
             power = float(np.sqrt(np.sum(grad_left**2) + np.sum(grad_right**2)))
             if power >= self.config.min_power:
                 powers[c_pair] = min(power, 1.0)
@@ -227,18 +225,18 @@ class InferencePowerEstimator:
             if triples_1.size == 0 or triples_2.size == 0:
                 continue
             weight_sum_1 = float(
-                np.sum(np.minimum(self._weights_1[triples_1[:, 0]], self._weights_1[triples_1[:, 2]]))
+                np.sum(np.minimum(self._snap.weights_1[triples_1[:, 0]], self._snap.weights_1[triples_1[:, 2]]))
             )
             weight_sum_2 = float(
-                np.sum(np.minimum(self._weights_2[triples_2[:, 0]], self._weights_2[triples_2[:, 2]]))
+                np.sum(np.minimum(self._snap.weights_2[triples_2[:, 0]], self._snap.weights_2[triples_2[:, 2]]))
             )
             if weight_sum_1 < 1e-9 or weight_sum_2 < 1e-9:
                 continue
-            a = self._map_entity.T @ self._mean_relations_1[r_pair.left]
-            b = self._mean_relations_2[r_pair.right]
+            a = self._map_entity.T @ self._snap.mean_relations_1[r_pair.left]
+            b = self._snap.mean_relations_2[r_pair.right]
             grad_a, grad_b = _cosine_gradient(a, b)
-            weight_left = min(self._weights_1[edge.source.left], self._weights_1[edge.target.left])
-            weight_right = min(self._weights_2[edge.source.right], self._weights_2[edge.target.right])
+            weight_left = min(self._snap.weights_1[edge.source.left], self._snap.weights_1[edge.target.left])
+            weight_right = min(self._snap.weights_2[edge.source.right], self._snap.weights_2[edge.target.right])
             grad_left = (weight_left / weight_sum_1) * (self._map_entity @ grad_a)
             grad_right = (weight_right / weight_sum_2) * grad_b
             power = float(np.sqrt(np.sum(grad_left**2) + np.sum(grad_right**2)))

@@ -14,20 +14,42 @@ from repro.kg.graph import KnowledgeGraph
 from repro.utils.rng import RandomState, ensure_rng
 
 
+def _isin_sorted(sorted_keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Vectorized membership test of ``values`` in a sorted unique key array."""
+    if sorted_keys.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.minimum(np.searchsorted(sorted_keys, values), sorted_keys.size - 1)
+    return sorted_keys[pos] == values
+
+
 class NegativeSampler:
-    """Draws corrupted triples / pairs that avoid true positives when possible."""
+    """Draws corrupted triples / pairs that avoid true positives when possible.
+
+    True triples and type assertions are kept as sorted integer key arrays so
+    the "is this corruption actually a positive?" test is a vectorized
+    ``searchsorted`` instead of a Python loop over dict-of-set lookups (the
+    loop dominated embedding-batch sampling in profiles).
+    """
 
     def __init__(self, kg: KnowledgeGraph, seed: RandomState = None) -> None:
         self.kg = kg
         self.rng = ensure_rng(seed)
-        self._true_tails: dict[tuple[int, int], set[int]] = {}
-        for h, r, t in kg.triple_array:
-            self._true_tails.setdefault((int(h), int(r)), set()).add(int(t))
-        self._true_classes: dict[int, set[int]] = {}
-        self._class_members: dict[int, set[int]] = {}
-        for e, c in kg.type_array:
-            self._true_classes.setdefault(int(e), set()).add(int(c))
-            self._class_members.setdefault(int(c), set()).add(int(e))
+        self._num_entities = max(kg.num_entities, 1)
+        self._num_relations = max(kg.num_relations, 1)
+        triples = kg.triple_array.astype(np.int64).reshape(-1, 3)
+        self._triple_keys = np.unique(self._triple_key(triples))
+        types = kg.type_array.astype(np.int64).reshape(-1, 2)
+        self._type_keys = np.unique(self._type_key(types[:, 0], types[:, 1]))
+
+    def _triple_key(self, triples: np.ndarray) -> np.ndarray:
+        """Encode ``(h, r, t)`` rows as single int64 keys."""
+        return (
+            triples[:, 0] * self._num_relations + triples[:, 1]
+        ) * self._num_entities + triples[:, 2]
+
+    def _type_key(self, entities: np.ndarray, classes: np.ndarray) -> np.ndarray:
+        """Encode ``(entity, class)`` pairs as single int64 keys."""
+        return classes * self._num_entities + entities
 
     # ----------------------------------------------------------- entity-relation
     def corrupt_tails(self, triples: np.ndarray, num_negatives: int = 1) -> np.ndarray:
@@ -44,12 +66,7 @@ class NegativeSampler:
         negatives = repeated.copy()
         negatives[:, 2] = self.rng.integers(0, self.kg.num_entities, size=n * num_negatives)
         for attempt in range(3):
-            bad = np.array(
-                [
-                    negatives[i, 2] in self._true_tails.get((negatives[i, 0], negatives[i, 1]), set())
-                    for i in range(negatives.shape[0])
-                ]
-            )
+            bad = _isin_sorted(self._triple_keys, self._triple_key(negatives))
             if not bad.any():
                 break
             negatives[bad, 2] = self.rng.integers(0, self.kg.num_entities, size=int(bad.sum()))
@@ -65,11 +82,8 @@ class NegativeSampler:
         negatives = repeated.copy()
         negatives[:, 0] = self.rng.integers(0, self.kg.num_entities, size=n * num_negatives)
         for attempt in range(3):
-            bad = np.array(
-                [
-                    negatives[i, 0] in self._class_members.get(int(negatives[i, 1]), set())
-                    for i in range(negatives.shape[0])
-                ]
+            bad = _isin_sorted(
+                self._type_keys, self._type_key(negatives[:, 0], negatives[:, 1])
             )
             if not bad.any():
                 break

@@ -92,13 +92,18 @@ class Module:
         missing = set(state) - set(own)
         if missing:
             raise KeyError(f"state dict has unknown keys: {sorted(missing)[:5]}")
+        # validate every shape before mutating anything, so a bad entry cannot
+        # leave the module half-loaded with parameter-derived caches unbumped
         for key, array in state.items():
-            param = own[key]
-            if param.data.shape != array.shape:
+            if own[key].data.shape != array.shape:
                 raise ValueError(
-                    f"shape mismatch for {key}: {param.data.shape} vs {array.shape}"
+                    f"shape mismatch for {key}: {own[key].data.shape} vs {array.shape}"
                 )
-            param.data = array.copy()
+        for key, array in state.items():
+            own[key].data = array.copy()
+        from repro.nn.optim import bump_parameter_version  # circular at module level
+
+        bump_parameter_version()
 
     @staticmethod
     def _named(obj, prefix: str, out: dict[str, Parameter], seen: set[int]) -> None:

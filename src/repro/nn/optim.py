@@ -13,6 +13,23 @@ import numpy as np
 
 from repro.nn.module import Parameter
 
+# Monotonic counter bumped whenever an optimiser mutates parameters.  Caches
+# of quantities derived from parameters (e.g. the SimilarityEngine's matrices)
+# key their entries on this value: unchanged counter ⇒ identical parameters.
+_parameter_version = 0
+
+
+def parameter_version() -> int:
+    """The current global parameter version."""
+    return _parameter_version
+
+
+def bump_parameter_version() -> int:
+    """Invalidate parameter-derived caches; returns the new version."""
+    global _parameter_version
+    _parameter_version += 1
+    return _parameter_version
+
 
 class Optimizer:
     """Base optimiser over an explicit parameter list."""
@@ -50,6 +67,7 @@ class SGD(Optimizer):
             v *= self.momentum
             v -= self.lr * p.grad
             p.data = p.data + v
+        bump_parameter_version()
 
 
 class Adam(Optimizer):
@@ -86,3 +104,4 @@ class Adam(Optimizer):
             m_hat = m / (1.0 - self.beta1**self._t)
             v_hat = v / (1.0 - self.beta2**self._t)
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        bump_parameter_version()

@@ -74,6 +74,28 @@ def top_k_indices(scores: np.ndarray, k: int, largest: bool = True) -> np.ndarra
     return part[np.argsort(scores[part])]
 
 
+def top_k_rows(matrix: np.ndarray, k: int) -> np.ndarray:
+    """Per-row indices of the ``k`` largest columns, sorted descending.
+
+    Uses ``np.argpartition`` (O(n) per row) instead of a full ``argsort``
+    (O(n log n)); only the selected ``k`` entries are sorted.  ``k`` larger
+    than the number of columns is truncated.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("top_k_rows expects a 2-D matrix")
+    num_cols = matrix.shape[1]
+    k = min(k, num_cols)
+    if k <= 0 or matrix.size == 0:
+        return np.empty((matrix.shape[0], max(k, 0)), dtype=np.int64)
+    if k >= num_cols:
+        return np.argsort(-matrix, axis=1).astype(np.int64)
+    part = np.argpartition(-matrix, k - 1, axis=1)[:, :k]
+    rows = np.arange(matrix.shape[0])[:, None]
+    order = np.argsort(-matrix[rows, part], axis=1)
+    return part[rows, order].astype(np.int64)
+
+
 def reciprocal_rank(scores: np.ndarray, true_index: int) -> float:
     """Reciprocal rank of ``true_index`` when ranking ``scores`` descending."""
     scores = np.asarray(scores, dtype=float)

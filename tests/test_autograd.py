@@ -85,6 +85,51 @@ def test_gradient_matches_finite_differences(name):
     finite_difference_check(fn, *shapes)
 
 
+class TestTupleAxisReductions:
+    """Regression tests for tuple axes: ``mean(axis=(0, 1))`` used to raise
+    ``TypeError`` because the divisor read ``shape[axis]`` with a tuple."""
+
+    def test_mean_tuple_axis_gradient(self):
+        finite_difference_check(lambda a: a.mean(axis=(0, 1)), (3, 4))
+
+    def test_mean_tuple_axis_gradient_3d(self):
+        finite_difference_check(lambda a: (a.mean(axis=(0, 2)) ** 2).sum(), (2, 3, 4))
+
+    def test_mean_tuple_axis_values_match_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(2, 3, 4))
+        out = Tensor(data).mean(axis=(0, 1))
+        assert np.allclose(out.numpy(), data.mean(axis=(0, 1)))
+        out = Tensor(data).mean(axis=(1, 2), keepdims=True)
+        assert np.allclose(out.numpy(), data.mean(axis=(1, 2), keepdims=True))
+
+    def test_mean_negative_tuple_axis(self):
+        data = np.arange(24, dtype=float).reshape(2, 3, 4)
+        out = Tensor(data).mean(axis=(-2, -1))
+        assert np.allclose(out.numpy(), data.mean(axis=(-2, -1)))
+
+    def test_sum_tuple_axis_parity(self):
+        finite_difference_check(lambda a: (a.sum(axis=(0, 1)) * 2.0), (3, 4))
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        assert np.allclose(Tensor(data).sum(axis=(0, 1)).numpy(), data.sum(axis=(0, 1)))
+
+    def test_max_tuple_axis_parity(self):
+        finite_difference_check(lambda a: a.max(axis=(0, 1)), (3, 4), seed=3)
+        data = np.arange(24, dtype=float).reshape(2, 3, 4)
+        assert np.allclose(Tensor(data).max(axis=(0, 2)).numpy(), data.max(axis=(0, 2)))
+
+    def test_gather_rows_negative_and_duplicate_indices(self):
+        # -1 aliases the last row: the scatter-add backward must accumulate
+        # both contributions, matching np.add.at semantics
+        t = Tensor(np.arange(8.0).reshape(4, 2), requires_grad=True)
+        out = t.gather_rows(np.array([-1, 3, 0]))
+        out.sum().backward()
+        expected = np.zeros((4, 2))
+        expected[3] = 2.0
+        expected[0] = 1.0
+        assert np.allclose(t.grad, expected)
+
+
 class TestTensorBasics:
     def test_tensor_constructor(self):
         t = tensor([1.0, 2.0], requires_grad=True)
