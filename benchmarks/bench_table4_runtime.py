@@ -6,7 +6,7 @@ text-only method run in seconds, all deep methods cost much more, and
 semi-supervision is DAAKG's most expensive component.
 """
 
-from conftest import BENCH_DATASETS, bench_pair, fitted_daakg, print_table
+from conftest import BENCH_DATASETS, bench_pair, fitted_daakg, print_table, record_bench
 from repro.baselines import LexicalMatcher, MTransE, PARIS
 
 
@@ -31,5 +31,10 @@ def test_table4_runtime(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print_table(f"Table 4: running time ({dataset})", ["Method", "Time"], rows)
     times = {row[0]: float(row[1][:-1]) for row in rows}
+    record_bench(
+        "table4",
+        wall_time_seconds=sum(times.values()),
+        headline={f"{method}:seconds": seconds for method, seconds in times.items()},
+    )
     # PARIS (no training) should be cheaper than the full deep pipeline.
     assert times["PARIS"] <= times["DAAKG (TransE)"]

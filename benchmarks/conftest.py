@@ -10,11 +10,19 @@ variables control fidelity:
 
 Expensive artefacts (datasets, fitted pipelines) are cached per session so the
 table benchmarks that share them do not re-train.
+
+Every bench module records its wall-time and headline metrics through
+:func:`record_bench`; at session end the accumulated records are written as
+machine-readable ``BENCH_<name>.json`` files in the repository root, so the
+performance trajectory is tracked across PRs (CI uploads the table4 smoke
+artifact on every run).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from dataclasses import replace
 
 import pytest
@@ -79,6 +87,48 @@ def fitted_daakg(dataset: str, base_model: str = "transe", ablation: str = "full
 @pytest.fixture(scope="session")
 def bench_datasets() -> list[str]:
     return list(BENCH_DATASETS)
+
+
+# ----------------------------------------------------------- bench artifacts
+_BENCH_RECORDS: dict[str, dict] = {}
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def record_bench(
+    name: str,
+    wall_time_seconds: float | None = None,
+    headline: dict | None = None,
+    detail: dict | None = None,
+) -> None:
+    """Accumulate one benchmark's results for the ``BENCH_<name>.json`` artifact.
+
+    ``wall_time_seconds`` adds to the benchmark's total (components report
+    their own share), ``headline`` holds the few numbers worth comparing
+    across PRs, and ``detail`` per-component breakdowns.  Repeated calls from
+    cached fixtures are harmless: cached components simply report nothing.
+    """
+    entry = _BENCH_RECORDS.setdefault(
+        name, {"name": name, "wall_time_seconds": 0.0, "headline": {}, "detail": {}}
+    )
+    if wall_time_seconds is not None:
+        entry["wall_time_seconds"] += float(wall_time_seconds)
+    if headline:
+        entry["headline"].update(headline)
+    if detail:
+        entry["detail"].update(detail)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write one ``BENCH_<name>.json`` per recorded benchmark (repo root)."""
+    for name, entry in _BENCH_RECORDS.items():
+        entry["wall_time_seconds"] = round(entry["wall_time_seconds"], 3)
+        entry["scale"] = BENCH_SCALE
+        entry["datasets"] = BENCH_DATASETS
+        entry["python"] = platform.python_version()
+        path = os.path.join(_REPO_ROOT, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:

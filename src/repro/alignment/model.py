@@ -119,6 +119,8 @@ class JointAlignmentModel(Module):
 
         Called once per training round and before building similarity
         matrices; these quantities are treated as constants by the optimiser.
+        The four matrix reads below are served by one cached forward per
+        model (``KGEmbeddingModel.outputs``), not four separate forwards.
         """
         with no_grad():
             e1 = self.model1.entity_matrix()

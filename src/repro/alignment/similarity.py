@@ -13,9 +13,12 @@ Caching / versioning contract
 A cached matrix is valid for a *version token*:
 
 * ``parameter_version`` — the global counter in :mod:`repro.nn.optim`, bumped
-  by every ``Adam.step`` / ``SGD.step`` (and by ``Module.load_state_dict``).
-  Any optimiser step therefore invalidates all cached matrices — stale
-  similarities are never served.
+  by every ``Adam.step`` / ``SGD.step`` (and by ``Module.load_state_dict``
+  and ``Embedding.renormalize``).  Any optimiser step therefore invalidates
+  all cached matrices — stale similarities are never served.  The same token
+  keys the embedding models' forward session
+  (:meth:`repro.embedding.base.KGEmbeddingModel.outputs`), so the snapshot
+  this engine reads and the training losses share one forward per version.
 * ``model.snapshot_version`` — bumped by
   :meth:`JointAlignmentModel.refresh_statistics`, which rebuilds the NumPy
   snapshot (mean embeddings, weights) every matrix depends on.

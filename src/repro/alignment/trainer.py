@@ -74,6 +74,10 @@ class LabelStore:
     Each ordered list is shadowed by a set so :meth:`add` is O(1) — with the
     old list-membership check, label ingestion was quadratic over an active
     learning campaign.  The lists remain the public, insertion-ordered view.
+    :meth:`match_array`/:meth:`non_match_array` are cached per kind (treat the
+    returned arrays as read-only) and invalidated by :meth:`add`, so the
+    optimisation loop no longer rebuilds an array from the Python list on
+    every step.
     """
 
     matches: dict[ElementKind, list[tuple[int, int]]] = field(
@@ -86,24 +90,33 @@ class LabelStore:
     def __post_init__(self) -> None:
         self._match_sets = {kind: set(pairs) for kind, pairs in self.matches.items()}
         self._non_match_sets = {kind: set(pairs) for kind, pairs in self.non_matches.items()}
+        self._match_arrays: dict[ElementKind, np.ndarray | None] = {k: None for k in _KINDS}
+        self._non_match_arrays: dict[ElementKind, np.ndarray | None] = {k: None for k in _KINDS}
 
     def add(self, kind: ElementKind, pair: tuple[int, int], is_match: bool) -> None:
-        store, index = (
-            (self.matches, self._match_sets)
+        store, index, arrays = (
+            (self.matches, self._match_sets, self._match_arrays)
             if is_match
-            else (self.non_matches, self._non_match_sets)
+            else (self.non_matches, self._non_match_sets, self._non_match_arrays)
         )
         if pair not in index[kind]:
             index[kind].add(pair)
             store[kind].append(pair)
+            arrays[kind] = None
 
     def match_array(self, kind: ElementKind) -> np.ndarray:
-        pairs = self.matches[kind]
-        return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        cached = self._match_arrays[kind]
+        if cached is None:
+            cached = np.asarray(self.matches[kind], dtype=np.int64).reshape(-1, 2)
+            self._match_arrays[kind] = cached
+        return cached
 
     def non_match_array(self, kind: ElementKind) -> np.ndarray:
-        pairs = self.non_matches[kind]
-        return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        cached = self._non_match_arrays[kind]
+        if cached is None:
+            cached = np.asarray(self.non_matches[kind], dtype=np.int64).reshape(-1, 2)
+            self._non_match_arrays[kind] = cached
+        return cached
 
     def labelled_pairs(self, kind: ElementKind) -> set[tuple[int, int]]:
         return self._match_sets[kind] | self._non_match_sets[kind]
@@ -326,7 +339,14 @@ class JointAlignmentTrainer:
         return total
 
     def _total_loss(self, focal_kinds: set[ElementKind] | None = None):
-        """Sum of all loss terms for one optimisation step (None when no labels)."""
+        """Sum of all loss terms for one optimisation step (None when no labels).
+
+        Every term reads entity/relation representations through the models'
+        cached forward session (``KGEmbeddingModel.outputs``), so the 10+
+        terms of one step gather from a single full forward per model and
+        ``backward`` runs message passing once — the parameter version only
+        bumps when the optimiser steps.
+        """
         focal_kinds = focal_kinds or set()
         terms = []
         for kind in _KINDS:

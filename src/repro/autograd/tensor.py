@@ -34,25 +34,35 @@ def no_grad():
         _grad_enabled = previous
 
 
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _grad_enabled
+
+
 def _scatter_add_rows(template: np.ndarray, indices: np.ndarray, grad: np.ndarray) -> np.ndarray:
     """Zeros shaped like ``template`` with ``grad`` rows added at ``indices``.
 
-    Equivalent to ``np.add.at(zeros, indices, grad)`` but grouped through a
-    stable sort and ``np.add.reduceat``, which is several times faster on the
-    embedding-gradient workloads that dominate training.  Bit-exact: the
-    stable sort keeps each index's rows in occurrence order, so group sums add
-    in the same sequence ``np.add.at`` would.
+    Bit-exact with ``np.add.at(zeros, indices, grad)`` but several times
+    faster on the embedding-gradient workloads that dominate training: each
+    column is accumulated by ``np.bincount``, whose tight C loop adds
+    contributions sequentially in occurrence order — the same association
+    order ``np.add.at`` uses — without the buffered fancy-indexing overhead.
+    (The previous sort + ``np.add.reduceat`` grouping was *not* bit-exact:
+    reduceat's reduction order is unspecified for groups of three or more.)
     """
     full = np.zeros_like(template)
     if indices.size == 0:
         return full
     grad = np.asarray(grad, dtype=np.float64)
-    # normalise negative indices so -1 and len-1 group as the same row
+    # normalise negative indices so -1 and len-1 accumulate into the same row
     indices = np.where(indices < 0, indices + template.shape[0], indices)
-    order = np.argsort(indices, kind="stable")
-    sorted_idx = indices[order]
-    starts = np.flatnonzero(np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
-    full[sorted_idx[starts]] = np.add.reduceat(grad[order], starts, axis=0)
+    num_rows = template.shape[0]
+    flat_full = full.reshape(num_rows, -1)
+    flat_grad = np.ascontiguousarray(grad.reshape(indices.shape[0], -1))
+    for column in range(flat_full.shape[1]):
+        flat_full[:, column] = np.bincount(
+            indices, weights=flat_grad[:, column], minlength=num_rows
+        )
     return full
 
 
@@ -166,9 +176,19 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
         self._accumulate(grad)
-        for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+        try:
+            for node in reversed(topo):
+                if node._backward is not None and node.grad is not None:
+                    node._backward(node.grad)
+        finally:
+            # Interior (operation-node) gradients are transient: only leaves
+            # keep theirs across backward calls.  Clearing them — even when a
+            # closure raises part-way — lets a retained graph (e.g. a cached
+            # forward session shared by several losses) be backward-ed
+            # repeatedly without double-counting an earlier pass.
+            for node in topo:
+                if node._backward is not None:
+                    node.grad = None
 
     # ------------------------------------------------------------- arithmetic
     def __add__(self, other: ArrayLike | "Tensor") -> "Tensor":
@@ -409,6 +429,13 @@ class Tensor:
         return self.transpose()
 
     def __getitem__(self, index) -> "Tensor":
+        # 1-D integer-array indices are row lookups: delegate to gather_rows
+        # so they share its scatter-add fast path; everything else (slices,
+        # tuples, masks) keeps the generic np.add.at backward.
+        if isinstance(index, (np.ndarray, list)):
+            candidate = np.asarray(index)
+            if candidate.ndim == 1 and candidate.dtype.kind in "iu":
+                return self.gather_rows(candidate)
         out_data = self.data[index]
 
         def backward(grad: np.ndarray) -> None:

@@ -8,6 +8,15 @@ Downstream components rely on three views of a model:
 * **alignment view** — :meth:`entity_output` / :meth:`relation_output` give
   differentiable *output representations* (for GNN models these aggregate the
   neighbourhood), which the joint alignment model maps across KGs;
+
+All differentiable views read through :meth:`KGEmbeddingModel.outputs`, a
+*forward-computation session*: the full ``(entity, relation)`` representation
+tensors are computed once per parameter version (the counter in
+:mod:`repro.nn.optim`, bumped by optimiser steps, ``renormalize`` and
+``load_state_dict``) and every consumer gathers slices of that one retained
+graph.  Within one optimisation step the many loss terms of joint training
+therefore share a single model forward, and ``loss.backward()`` accumulates
+through it once instead of re-running message passing per term;
 * **inference view** — :meth:`solve_tail` approximates the tail embedding that
   a (head, relation) pair determines, together with an error bound ``d``
   (Eq. 13/14).  TransE overrides this with the exact closed form (``d = 0``);
@@ -21,10 +30,33 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_grad_enabled, no_grad
 from repro.kg.graph import KnowledgeGraph
 from repro.nn.module import Module
 from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class ForwardOutputs:
+    """One full model forward, shared by every consumer at a parameter version.
+
+    ``entities``/``relations`` hold the output representations of *all*
+    entities/relations of the KG; consumers slice them with ``gather_rows``
+    so their gradients all accumulate through this one retained graph.
+    """
+
+    entities: Tensor
+    relations: Tensor
+    version: int
+
+    @property
+    def differentiable(self) -> bool:
+        """Whether gradients can flow through these outputs.
+
+        A forward computed under ``no_grad`` has no graph and must not be
+        served to training-mode consumers.
+        """
+        return self.entities.requires_grad and self.relations.requires_grad
 
 
 @dataclass(frozen=True)
@@ -49,6 +81,47 @@ class KGEmbeddingModel(Module):
         self.kg = kg
         self.dim = dim
         self.rng = ensure_rng(rng)
+        self.forward_session = True
+        self.forward_count = 0
+        self._outputs_cache: ForwardOutputs | None = None
+
+    # -------------------------------------------------------- forward session
+    def _forward_outputs(self) -> tuple[Tensor, Tensor]:
+        """Uncached full forward: ``(entity, relation)`` output tensors."""
+        raise NotImplementedError
+
+    def outputs(self) -> ForwardOutputs:
+        """The full forward for the current parameters, computed at most once.
+
+        Memoized on the parameter version token: as long as no optimiser
+        step, ``renormalize`` or ``load_state_dict`` intervenes, every caller
+        receives the *same* retained tensors and their gathers share one
+        autograd graph.  A forward first taken under ``no_grad`` is replaced
+        by a differentiable one when a training-mode consumer asks.  Setting
+        ``forward_session = False`` restores the legacy one-forward-per-call
+        behaviour (used by parity tests and benchmarks).
+        """
+        cached = self._outputs_cache
+        if (
+            self.forward_session
+            and cached is not None
+            and cached.version == self.parameter_token()
+            and (cached.differentiable or not is_grad_enabled())
+        ):
+            # Serving the retained graph repeatedly is safe across multiple
+            # backward calls: Tensor.backward clears interior grads in its
+            # epilogue, so a later pass never double-counts an earlier one.
+            return cached
+        entities, relations = self._forward_outputs()
+        self.forward_count += 1
+        entry = ForwardOutputs(entities, relations, self.parameter_token())
+        if self.forward_session:
+            self._outputs_cache = entry
+        return entry
+
+    def invalidate_outputs(self) -> None:
+        """Drop the cached forward (bumping the parameter version also works)."""
+        self._outputs_cache = None
 
     # --------------------------------------------------------------- training
     def triple_scores(self, triples: np.ndarray) -> Tensor:
@@ -61,32 +134,35 @@ class KGEmbeddingModel(Module):
     # -------------------------------------------------------------- alignment
     def entity_output(self, indices: np.ndarray) -> Tensor:
         """Differentiable output representations of the given entities."""
-        raise NotImplementedError
+        return self.outputs().entities.gather_rows(np.asarray(indices, dtype=np.int64))
 
     def relation_output(self, indices: np.ndarray) -> Tensor:
         """Differentiable output representations of the given relations."""
-        raise NotImplementedError
+        return self.outputs().relations.gather_rows(np.asarray(indices, dtype=np.int64))
 
     def all_entity_outputs(self) -> Tensor:
         """Output representations of every entity, shape ``(|E|, dim)``."""
-        return self.entity_output(np.arange(self.kg.num_entities))
+        return self.outputs().entities
 
     def all_relation_outputs(self) -> Tensor:
-        """Output representations of every relation, shape ``(|R|, dim)``."""
-        return self.relation_output(np.arange(self.kg.num_relations))
+        """Output representations of every relation, shape ``(|R|, dim)``.
+
+        Relation tables pad to one row for relation-less KGs, so slice the
+        session tensor down to the true relation count.
+        """
+        relations = self.outputs().relations
+        if relations.shape[0] == self.kg.num_relations:
+            return relations
+        return relations.gather_rows(np.arange(self.kg.num_relations))
 
     # ----------------------------------------------------------- numpy access
     def entity_matrix(self) -> np.ndarray:
-        """Detached entity output representations (recomputed on each call)."""
-        from repro.autograd.tensor import no_grad
-
+        """Detached entity output representations (served from the session cache)."""
         with no_grad():
-            return self.all_entity_outputs().numpy().copy()
+            return self.outputs().entities.numpy().copy()
 
     def relation_matrix(self) -> np.ndarray:
         """Detached relation output representations."""
-        from repro.autograd.tensor import no_grad
-
         with no_grad():
             return self.all_relation_outputs().numpy().copy()
 

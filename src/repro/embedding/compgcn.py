@@ -13,9 +13,13 @@ a linear map per layer.  This implementation keeps the parts DAAKG relies on:
   API as TransE/RotatE apply.
 
 The full forward pass computes representations for *all* entities at once (the
-graphs in this reproduction have a few thousand edges), and every call of
-``all_entity_outputs`` rebuilds the message-passing graph so gradients flow
-into the base embeddings during joint alignment training.
+graphs in this reproduction have a few thousand edges).  Message passing runs
+once per parameter version through the forward session of
+:class:`~repro.embedding.base.KGEmbeddingModel`: every consumer
+(``triple_scores``, ``entity_output``, the alignment losses, the similarity
+engine) gathers rows of the same retained graph, so gradients from all loss
+terms of an optimisation step flow into the base embeddings through a single
+message-passing backward instead of one rebuild per call.
 """
 
 from __future__ import annotations
@@ -76,7 +80,7 @@ class CompGCN(KGEmbeddingModel):
         self._out_norm = 1.0 / np.maximum(out_deg, 1.0)
 
     # ----------------------------------------------------------------- forward
-    def _forward_all(self) -> tuple[Tensor, Tensor]:
+    def _forward_outputs(self) -> tuple[Tensor, Tensor]:
         """Representations of all entities and all relations after message passing."""
         x = self.entity_embeddings.all()
         z = self.relation_embeddings.all()
@@ -100,28 +104,11 @@ class CompGCN(KGEmbeddingModel):
     # --------------------------------------------------------------- training
     def triple_scores(self, triples: np.ndarray) -> Tensor:
         triples = np.asarray(triples, dtype=np.int64)
-        x, z = self._forward_all()
-        h = x.gather_rows(triples[:, 0])
-        r = z.gather_rows(triples[:, 1])
-        t = x.gather_rows(triples[:, 2])
+        session = self.outputs()
+        h = session.entities.gather_rows(triples[:, 0])
+        r = session.relations.gather_rows(triples[:, 1])
+        t = session.entities.gather_rows(triples[:, 2])
         return (h + r - t).norm(axis=1)
-
-    # -------------------------------------------------------------- alignment
-    def entity_output(self, indices: np.ndarray) -> Tensor:
-        x, _ = self._forward_all()
-        return x.gather_rows(np.asarray(indices, dtype=np.int64))
-
-    def relation_output(self, indices: np.ndarray) -> Tensor:
-        _, z = self._forward_all()
-        return z.gather_rows(np.asarray(indices, dtype=np.int64))
-
-    def all_entity_outputs(self) -> Tensor:
-        x, _ = self._forward_all()
-        return x
-
-    def all_relation_outputs(self) -> Tensor:
-        _, z = self._forward_all()
-        return z
 
     # ---------------------------------------------------------- inference view
     def score_np(self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray) -> float:

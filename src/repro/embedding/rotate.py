@@ -38,15 +38,28 @@ class RotatE(KGEmbeddingModel):
             rng.uniform(-np.pi, np.pi, size=(max(kg.num_relations, 1), self.half)), name="phases"
         )
 
+    # ----------------------------------------------------------------- forward
+    def _forward_outputs(self) -> tuple[Tensor, Tensor]:
+        """Entity table plus the full ``[cos θ | sin θ]`` relation table.
+
+        The trigonometry is evaluated once per parameter version over the
+        whole (small) phase table; consumers gather rows, which is cheaper
+        than re-deriving cos/sin for every triple of every loss term.
+        """
+        from repro.autograd.functional import concatenate
+
+        return (
+            self.entity_embeddings.all(),
+            concatenate([_cos(self.relation_phases), _sin(self.relation_phases)], axis=1),
+        )
+
     # ------------------------------------------------------------ complex math
-    def _rotate(self, h: Tensor, phases: Tensor) -> Tensor:
-        """Element-wise complex multiplication of ``h`` by ``exp(i * phases)``."""
+    def _rotate(self, h: Tensor, rotations: Tensor) -> Tensor:
+        """Element-wise complex multiplication of ``h`` by ``[cos θ | sin θ]`` rows."""
         h_re = h[:, : self.half]
         h_im = h[:, self.half :]
-        # The rotation must stay differentiable w.r.t. the phases, so compute
-        # cos/sin through the autograd graph rather than via numpy.
-        cos_t = _cos(phases)
-        sin_t = _sin(phases)
+        cos_t = rotations[:, : self.half]
+        sin_t = rotations[:, self.half :]
         out_re = h_re * cos_t - h_im * sin_t
         out_im = h_re * sin_t + h_im * cos_t
         from repro.autograd.functional import concatenate
@@ -56,22 +69,11 @@ class RotatE(KGEmbeddingModel):
     # --------------------------------------------------------------- training
     def triple_scores(self, triples: np.ndarray) -> Tensor:
         triples = np.asarray(triples, dtype=np.int64)
-        h = self.entity_embeddings(triples[:, 0])
-        t = self.entity_embeddings(triples[:, 2])
-        phases = self.relation_phases.gather_rows(triples[:, 1])
-        rotated = self._rotate(h, phases)
-        return (rotated - t).norm(axis=1)
-
-    # -------------------------------------------------------------- alignment
-    def entity_output(self, indices: np.ndarray) -> Tensor:
-        return self.entity_embeddings(indices)
-
-    def relation_output(self, indices: np.ndarray) -> Tensor:
-        """Relations represented as ``[cos θ | sin θ]`` vectors of size ``dim``."""
-        phases = self.relation_phases.gather_rows(np.asarray(indices, dtype=np.int64))
-        from repro.autograd.functional import concatenate
-
-        return concatenate([_cos(phases), _sin(phases)], axis=1)
+        session = self.outputs()
+        h = session.entities.gather_rows(triples[:, 0])
+        t = session.entities.gather_rows(triples[:, 2])
+        rotations = session.relations.gather_rows(triples[:, 1])
+        return (self._rotate(h, rotations) - t).norm(axis=1)
 
     # ---------------------------------------------------------- inference view
     def _rotate_np(self, head: np.ndarray, relation_vec: np.ndarray) -> np.ndarray:

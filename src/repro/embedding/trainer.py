@@ -84,6 +84,9 @@ class KGEmbeddingTrainer:
         self.optimizer = Adam(params, lr=self.config.learning_rate)
 
     # ------------------------------------------------------------------ steps
+    # Both batch losses score positives and negatives against the model's
+    # cached forward session: the two (or three) reads per batch share one
+    # full forward, which for GNN models halves the per-batch message passing.
     def _er_batch_loss(self, batch: np.ndarray):
         negatives = self.sampler.corrupt_tails(batch, self.config.num_negatives)
         positives = np.repeat(batch, self.config.num_negatives, axis=0)

@@ -26,20 +26,21 @@ class TransE(KGEmbeddingModel):
         self.entity_embeddings = Embedding(kg.num_entities, dim, rng=rng, name="entity")
         self.relation_embeddings = Embedding(max(kg.num_relations, 1), dim, rng=rng, name="relation")
 
+    # ----------------------------------------------------------------- forward
+    def _forward_outputs(self) -> tuple[Tensor, Tensor]:
+        """The output space *is* the embedding space: the session tensors are
+        the parameter tables themselves, so gathers parent directly on the
+        parameters and the session is bit-identical to per-call lookups."""
+        return self.entity_embeddings.all(), self.relation_embeddings.all()
+
     # --------------------------------------------------------------- training
     def triple_scores(self, triples: np.ndarray) -> Tensor:
         triples = np.asarray(triples, dtype=np.int64)
-        h = self.entity_embeddings(triples[:, 0])
-        r = self.relation_embeddings(triples[:, 1])
-        t = self.entity_embeddings(triples[:, 2])
+        session = self.outputs()
+        h = session.entities.gather_rows(triples[:, 0])
+        r = session.relations.gather_rows(triples[:, 1])
+        t = session.entities.gather_rows(triples[:, 2])
         return (h + r - t).norm(axis=1)
-
-    # -------------------------------------------------------------- alignment
-    def entity_output(self, indices: np.ndarray) -> Tensor:
-        return self.entity_embeddings(indices)
-
-    def relation_output(self, indices: np.ndarray) -> Tensor:
-        return self.relation_embeddings(indices)
 
     # ---------------------------------------------------------- inference view
     def score_np(self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray) -> float:

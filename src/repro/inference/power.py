@@ -77,7 +77,9 @@ class InferencePowerEstimator:
         self.rng = ensure_rng(rng)
         # Snapshot arrays are read through the model's SimilarityEngine (the
         # single access point for cached NumPy state) instead of being copied
-        # field by field into the estimator.
+        # field by field into the estimator; the snapshot itself is built from
+        # the embedding models' cached forward session, so constructing an
+        # estimator never re-runs a model forward.
         self._snap = model.similarity.snapshot
         self._map_entity = model.map_entity.data
         self._tail_cache_1: dict[tuple[int, int], tuple[np.ndarray, float]] = {}

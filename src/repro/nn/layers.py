@@ -40,6 +40,9 @@ class Embedding(Module):
         """Project all rows back to the unit sphere (TransE-style constraint)."""
         norms = np.linalg.norm(self.weight.data, axis=1, keepdims=True)
         self.weight.data = self.weight.data / np.maximum(norms, 1e-12)
+        # The projection mutates parameters outside the optimiser, so cached
+        # forwards / similarity matrices keyed on the version must be dropped.
+        self.mark_parameters_mutated()
 
 
 class Linear(Module):

@@ -55,6 +55,30 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    # ------------------------------------------------------------- versioning
+    def parameter_token(self) -> int:
+        """Version token for caches derived from this module's parameters.
+
+        Backed by the global counter in :mod:`repro.nn.optim`: it is bumped by
+        every optimiser step, by :meth:`load_state_dict`, by
+        ``Embedding.renormalize`` and by :meth:`mark_parameters_mutated`.  An
+        unchanged token guarantees unchanged parameters, so anything computed
+        from them (forward passes, similarity matrices) can be reused.
+        """
+        from repro.nn.optim import parameter_version  # circular at module level
+
+        return parameter_version()
+
+    def mark_parameters_mutated(self) -> int:
+        """Invalidate parameter-derived caches after an in-place mutation.
+
+        Call this after writing to ``parameter.data`` directly (outside the
+        optimiser/`load_state_dict`/`renormalize` paths, which already bump).
+        """
+        from repro.nn.optim import bump_parameter_version  # circular at module level
+
+        return bump_parameter_version()
+
     def num_parameters(self) -> int:
         """Total number of scalar parameters (the paper's parameter complexity)."""
         return int(sum(p.size for p in self.parameters()))

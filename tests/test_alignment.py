@@ -350,3 +350,47 @@ class TestJointAlignmentTrainer:
             AlignmentTrainingConfig(semi_threshold=0.0)
         with pytest.raises(ValueError):
             AlignmentTrainingConfig(hard_negative_fraction=2.0)
+
+
+class TestLabelStoreArrayCache:
+    def test_arrays_cached_between_reads(self):
+        from repro.alignment.trainer import LabelStore
+
+        store = LabelStore()
+        store.add(ElementKind.ENTITY, (0, 1), True)
+        first = store.match_array(ElementKind.ENTITY)
+        assert store.match_array(ElementKind.ENTITY) is first
+        assert first.shape == (1, 2)
+
+    def test_add_invalidates_only_affected_cache(self):
+        from repro.alignment.trainer import LabelStore
+
+        store = LabelStore()
+        store.add(ElementKind.ENTITY, (0, 1), True)
+        store.add(ElementKind.ENTITY, (2, 3), False)
+        matches = store.match_array(ElementKind.ENTITY)
+        non_matches = store.non_match_array(ElementKind.ENTITY)
+        relations = store.match_array(ElementKind.RELATION)
+        store.add(ElementKind.ENTITY, (4, 5), True)
+        updated = store.match_array(ElementKind.ENTITY)
+        assert updated is not matches
+        assert updated.tolist() == [[0, 1], [4, 5]]
+        # untouched kinds/polarities keep their cached arrays
+        assert store.non_match_array(ElementKind.ENTITY) is non_matches
+        assert store.match_array(ElementKind.RELATION) is relations
+
+    def test_duplicate_add_keeps_cache(self):
+        from repro.alignment.trainer import LabelStore
+
+        store = LabelStore()
+        store.add(ElementKind.CLASS, (1, 1), True)
+        cached = store.match_array(ElementKind.CLASS)
+        store.add(ElementKind.CLASS, (1, 1), True)
+        assert store.match_array(ElementKind.CLASS) is cached
+
+    def test_empty_arrays_have_pair_shape(self):
+        from repro.alignment.trainer import LabelStore
+
+        store = LabelStore()
+        assert store.match_array(ElementKind.ENTITY).shape == (0, 2)
+        assert store.non_match_array(ElementKind.RELATION).shape == (0, 2)

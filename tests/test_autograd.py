@@ -129,6 +129,31 @@ class TestTupleAxisReductions:
         expected[0] = 1.0
         assert np.allclose(t.grad, expected)
 
+    def test_getitem_integer_array_gradient(self):
+        # fancy indexing with duplicates must accumulate like np.add.at
+        finite_difference_check(lambda a: (a[np.array([0, 2, 2, -1])] ** 2).sum(), (4, 3))
+        finite_difference_check(lambda a: (a[[1, 1, 0]] * 2.0).sum(), (3,))
+
+    def test_getitem_integer_array_matches_add_at_bitwise(self):
+        # the grouped fast path must be bit-identical to the generic backward
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(6, 3))
+        index = np.array([5, 0, 2, 2, -1, 0, 5, 2])
+        upstream = rng.normal(size=(index.size, 3))
+        fast = Tensor(data, requires_grad=True)
+        out = fast[index]
+        out.backward(upstream)
+        reference = np.zeros_like(data)
+        np.add.at(reference, index, upstream)
+        np.testing.assert_array_equal(fast.grad, reference)
+
+    def test_getitem_tuple_and_mask_still_supported(self):
+        finite_difference_check(lambda a: (a[:, 1] ** 2).sum(), (4, 3))
+        t = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+        mask = np.array([True, False, True])
+        t[mask].sum().backward()
+        assert np.allclose(t.grad, np.array([[1.0, 1.0], [0.0, 0.0], [1.0, 1.0]]))
+
 
 class TestTensorBasics:
     def test_tensor_constructor(self):
