@@ -1,0 +1,164 @@
+"""Serving benchmark: query throughput, latency percentiles and fold-in cost.
+
+Freezes a fitted DAAKG pipeline into an :class:`AlignmentService` (through a
+real checkpoint round-trip, so the measured path is the production one),
+then measures:
+
+* single-query top-k latency (p50 / p99) and queries/sec,
+* micro-batched throughput at the service's ``max_batch``,
+* ``score_pairs`` throughput,
+* incremental fold-in latency versus a full similarity-matrix recompute —
+  the whole point of fold-in is that appending one row/column is orders of
+  magnitude cheaper than rebuilding the ``|E1| × |E2|`` state.
+
+Emits ``BENCH_serving.json`` via the shared ``record_bench`` hook.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_DATASETS, fitted_daakg, print_table, record_bench
+from repro.serving import AlignmentService
+from repro.serving.service import ServingSnapshot
+
+NUM_SINGLE_QUERIES = 400
+NUM_BATCHED_QUERIES = 2000
+NUM_SCORE_PAIRS = 2000
+FOLD_REPEATS = 5
+
+
+def _percentile_ms(latencies: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies) * 1e3, q))
+
+
+def test_serving_throughput(benchmark, tmp_path):
+    dataset = BENCH_DATASETS[0]
+    pipeline = fitted_daakg(dataset, "transe")
+    checkpoint = tmp_path / "serving-ckpt"
+    save_start = time.perf_counter()
+    pipeline.save(checkpoint)
+    save_seconds = time.perf_counter() - save_start
+
+    load_start = time.perf_counter()
+    service = AlignmentService.from_checkpoint(checkpoint, max_batch=64, cache_size=0)
+    load_seconds = time.perf_counter() - load_start
+
+    kg1, kg2 = pipeline.kg1, pipeline.kg2
+    rng = np.random.default_rng(0)
+    uris = [kg1.entities[i] for i in rng.integers(0, kg1.num_entities, NUM_SINGLE_QUERIES)]
+
+    def run() -> dict:
+        # -------- single queries (cache off → every query pays the gather)
+        latencies = []
+        start = time.perf_counter()
+        for uri in uris:
+            t0 = time.perf_counter()
+            service.top_k_alignments([uri], k=10)
+            latencies.append(time.perf_counter() - t0)
+        single_seconds = time.perf_counter() - start
+
+        # -------- micro-batched queries
+        batch_uris = [
+            kg1.entities[i]
+            for i in rng.integers(0, kg1.num_entities, NUM_BATCHED_QUERIES)
+        ]
+        start = time.perf_counter()
+        tickets = [service.enqueue_top_k(uri, k=10) for uri in batch_uris]
+        service.flush()
+        batched_seconds = time.perf_counter() - start
+        assert all(t.ready for t in tickets)
+
+        # -------- pair scoring
+        pairs = [
+            (kg1.entities[i], kg2.entities[j])
+            for i, j in zip(
+                rng.integers(0, kg1.num_entities, NUM_SCORE_PAIRS),
+                rng.integers(0, kg2.num_entities, NUM_SCORE_PAIRS),
+            )
+        ]
+        start = time.perf_counter()
+        service.score_pairs(pairs)
+        score_seconds = time.perf_counter() - start
+
+        # -------- fold-in vs full similarity-state recompute.  The recompute
+        # baseline is what serving a new entity costs *without* fold-in:
+        # refresh the statistics snapshot, rebuild the similarity matrices
+        # and re-freeze the serving arrays.
+        victim = max(range(kg2.num_entities), key=kg2.entity_degree)
+        fold_times = []
+        for repeat in range(FOLD_REPEATS):
+            triples = [
+                (f"bench:new{repeat}", kg2.relations[r], kg2.entities[t])
+                for r, t in kg2.out_edges(victim)[:8]
+            ]
+            report = service.fold_in(f"bench:new{repeat}", triples)
+            fold_times.append(report.seconds)
+        engine = pipeline.model.similarity
+        recompute_times = []
+        for _ in range(3):
+            engine.invalidate()
+            start = time.perf_counter()
+            pipeline.model.refresh_statistics()
+            ServingSnapshot.from_pipeline(pipeline)
+            recompute_times.append(time.perf_counter() - start)
+
+        return {
+            "single_seconds": single_seconds,
+            "latencies": latencies,
+            "batched_seconds": batched_seconds,
+            "score_seconds": score_seconds,
+            "fold_seconds": min(fold_times),
+            "recompute_seconds": min(recompute_times),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    single_qps = NUM_SINGLE_QUERIES / result["single_seconds"]
+    batched_qps = NUM_BATCHED_QUERIES / result["batched_seconds"]
+    score_qps = NUM_SCORE_PAIRS / result["score_seconds"]
+    p50 = _percentile_ms(result["latencies"], 50)
+    p99 = _percentile_ms(result["latencies"], 99)
+    fold_ms = result["fold_seconds"] * 1e3
+    recompute_ms = result["recompute_seconds"] * 1e3
+    speedup = result["recompute_seconds"] / max(result["fold_seconds"], 1e-12)
+
+    rows = [
+        ["top-k single queries/sec", f"{single_qps:,.0f}"],
+        ["top-k p50 latency", f"{p50:.3f} ms"],
+        ["top-k p99 latency", f"{p99:.3f} ms"],
+        ["top-k micro-batched queries/sec", f"{batched_qps:,.0f}"],
+        ["score_pairs pairs/sec", f"{score_qps:,.0f}"],
+        ["fold-in latency", f"{fold_ms:.3f} ms"],
+        ["full similarity-state rebuild", f"{recompute_ms:.3f} ms"],
+        ["fold-in speedup", f"{speedup:,.1f}x"],
+        ["checkpoint save", f"{save_seconds:.3f} s"],
+        ["checkpoint load + freeze", f"{load_seconds:.3f} s"],
+    ]
+    print_table(f"Serving throughput ({dataset})", ["Metric", "Value"], rows)
+    record_bench(
+        "serving",
+        wall_time_seconds=result["single_seconds"]
+        + result["batched_seconds"]
+        + result["score_seconds"],
+        headline={
+            "single_queries_per_sec": round(single_qps, 1),
+            "batched_queries_per_sec": round(batched_qps, 1),
+            "score_pairs_per_sec": round(score_qps, 1),
+            "p50_latency_ms": round(p50, 4),
+            "p99_latency_ms": round(p99, 4),
+            "fold_in_ms": round(fold_ms, 4),
+            "full_recompute_ms": round(recompute_ms, 4),
+            "fold_in_speedup": round(speedup, 1),
+        },
+        detail={
+            "checkpoint_save_seconds": round(save_seconds, 4),
+            "checkpoint_load_seconds": round(load_seconds, 4),
+            "entities": [pipeline.kg1.num_entities, pipeline.kg2.num_entities],
+        },
+    )
+    # Fold-in exists to avoid the full recompute; it must be at least an
+    # order of magnitude cheaper (acceptance criterion of the subsystem).
+    assert speedup >= 10.0, f"fold-in only {speedup:.1f}x cheaper than recompute"
+    # micro-batching must beat the single-query path
+    assert batched_qps > single_qps

@@ -11,21 +11,29 @@ Public API highlights
 * :mod:`repro.baselines` — PARIS, MTransE, GCN-Align-style, BootEA-style and
   lexical baselines for the comparison experiments.
 * :mod:`repro.active` — pool generation, selection algorithms, the active loop.
+* :mod:`repro.persistence` — versioned checkpoints (``DAAKG.save`` / ``load``,
+  ``ActiveLearningLoop.resume``).
+* :mod:`repro.serving` — the online :class:`~repro.serving.AlignmentService`.
 """
 
 from repro.core import DAAKG, DAAKGConfig
 from repro.datasets import make_benchmark, available_benchmarks
 from repro.kg import AlignedKGPair, ElementKind, KnowledgeGraph
+from repro.persistence import load_checkpoint, save_checkpoint
+from repro.serving import AlignmentService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlignedKGPair",
+    "AlignmentService",
     "DAAKG",
     "DAAKGConfig",
     "ElementKind",
     "KnowledgeGraph",
     "available_benchmarks",
+    "load_checkpoint",
     "make_benchmark",
+    "save_checkpoint",
     "__version__",
 ]

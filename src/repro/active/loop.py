@@ -88,6 +88,14 @@ class ActiveLearningLoop:
         self.calibrator = AlignmentCalibrator(self.config.calibration)
         self._pool: ElementPairPool | None = None
         self.records: list[ActiveLearningRecord] = []
+        # Campaign persistence: ``daakg`` is the owning pipeline facade
+        # (attached by ``DAAKG.active_learning``), which checkpointing needs
+        # because the loop only sees the derived working pair, not the
+        # original dataset.  ``autosave_path`` triggers a checkpoint after
+        # every completed batch; ``_next_batch`` is the resume cursor.
+        self.daakg = None
+        self.autosave_path: str | None = None
+        self._next_batch = 0
 
     # ----------------------------------------------------------------- state
     def pool(self) -> ElementPairPool:
@@ -171,11 +179,51 @@ class ActiveLearningLoop:
         cls = evaluate_alignment(engine.matrix(ElementKind.CLASS), self.pair.class_match_ids())
         return entity, relation, cls
 
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str) -> None:
+        """Checkpoint the campaign (pipeline + loop progress) to ``path``."""
+        if self.daakg is None:
+            raise RuntimeError(
+                "loop is not attached to a DAAKG pipeline; create it via "
+                "DAAKG.active_learning (or set loop.daakg) before saving"
+            )
+        from repro.persistence import save_checkpoint  # circular at module level
+
+        save_checkpoint(path, self.daakg, loop=self)
+
+    @classmethod
+    def resume(cls, checkpoint, daakg=None, strategy=None) -> "ActiveLearningLoop":
+        """Rebuild a campaign from a checkpoint written by :meth:`save`.
+
+        ``checkpoint`` is a checkpoint directory path or an already-loaded
+        :class:`repro.persistence.Checkpoint`.  The restored loop continues at
+        its first uncompleted batch and reproduces the uninterrupted run's
+        records bit-exactly (everything the next batch depends on — model,
+        optimiser, labels, pool, RNG streams — is part of the checkpoint).
+        """
+        from repro.persistence import Checkpoint, load_checkpoint, restore_loop
+
+        if not isinstance(checkpoint, Checkpoint):
+            checkpoint = load_checkpoint(checkpoint)
+        return restore_loop(checkpoint, daakg=daakg, strategy=strategy)
+
     # -------------------------------------------------------------------- run
-    def run(self) -> list[ActiveLearningRecord]:
-        """Run the configured number of batches; returns one record per batch."""
+    def run(self, max_batches: int | None = None) -> list[ActiveLearningRecord]:
+        """Run the remaining batches; returns the full record list.
+
+        ``max_batches`` caps how many *new* batches this call processes — a
+        resumed campaign continues where the checkpoint left off, and tests /
+        operators can deliberately stop a campaign mid-budget.  When
+        ``autosave_path`` is set, the campaign is checkpointed after every
+        completed batch, so a killed process restarts at its last completed
+        round.
+        """
         total_matches = max(len(self.pair.entity_alignment), 1)
-        for batch_index in range(self.config.num_batches):
+        processed = 0
+        while self._next_batch < self.config.num_batches:
+            if max_batches is not None and processed >= max_batches:
+                break
+            batch_index = self._next_batch
             start = time.perf_counter()
             state = self._build_state()
             selected = self.strategy.select(state, self.config.batch_size)
@@ -207,6 +255,10 @@ class ActiveLearningLoop:
                 selected=selected,
             )
             self.records.append(record)
+            self._next_batch = batch_index + 1
+            processed += 1
+            if self.autosave_path:
+                self.save(self.autosave_path)
             logger.info(
                 "batch %d: labels=%d entity H@1=%.3f F1=%.3f",
                 batch_index,

@@ -66,3 +66,29 @@ class AlignmentCalibrator:
     ) -> float:
         """Probability of a single pair; prefer :meth:`probability_matrix` in loops."""
         return float(self.probability_matrix(similarity_matrix, kind)[i, j])
+
+    def pair_probabilities(
+        self,
+        similarity_matrix: np.ndarray,
+        kind: ElementKind,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+    ) -> np.ndarray:
+        """Calibrated probabilities for index pairs, touching only their rows/columns.
+
+        Serving queries ask about a handful of pairs at a time; softmaxing the
+        full matrix in both directions for each request would be quadratic
+        work per query.  Each direction only needs the *rows* (respectively
+        *columns*) the requested pairs live in, so this gathers those slices
+        and normalises them alone — identical values to
+        :meth:`probability_matrix`, at per-row cost.
+        """
+        lefts = np.asarray(lefts, dtype=np.int64)
+        rights = np.asarray(rights, dtype=np.int64)
+        if similarity_matrix.size == 0 or lefts.size == 0:
+            return np.zeros(lefts.shape, dtype=float)
+        temperature = self.config.temperature(kind)
+        row = softmax(similarity_matrix[lefts], axis=1, temperature=temperature)
+        col = softmax(similarity_matrix[:, rights], axis=0, temperature=temperature)
+        take = np.arange(lefts.size)
+        return np.minimum(row[take, rights], col[lefts, take])

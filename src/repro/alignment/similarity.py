@@ -128,6 +128,16 @@ class SimilarityEngine:
         self._matrices.clear()
         self._top_k.clear()
 
+    def export_state(self) -> dict[ElementKind, np.ndarray]:
+        """Copies of all three similarity matrices for a frozen serving state.
+
+        Forces each matrix to be materialised (reusing any cached entry for
+        the current token) and returns *copies*: the serving layer appends
+        fold-in rows/columns to its matrices, which must never alias the
+        engine's shared cache entries.
+        """
+        return {kind: self.matrix(kind).copy() for kind in ElementKind}
+
     # ----------------------------------------------------------------- cache
     def _cached(self, key: object) -> np.ndarray | None:
         entry = self._matrices.get(key)

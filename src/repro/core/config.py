@@ -9,13 +9,55 @@ NumPy substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Type, TypeVar, get_type_hints
 
 from repro.alignment.calibration import CalibrationConfig
 from repro.alignment.trainer import AlignmentTrainingConfig
 from repro.embedding.trainer import EmbeddingTrainingConfig
 from repro.inference.power import InferencePowerConfig
 from repro.active.pool import PoolConfig
+
+C = TypeVar("C")
+
+
+def config_to_dict(config: Any) -> dict:
+    """A (possibly nested) config dataclass as a JSON-serialisable dict."""
+    if not is_dataclass(config):
+        raise TypeError(f"expected a config dataclass, got {type(config).__name__}")
+    out: dict = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        out[f.name] = config_to_dict(value) if is_dataclass(value) else value
+    return out
+
+
+def config_from_dict(cls: Type[C], data: dict) -> C:
+    """Rebuild a config dataclass (with nested configs) from its dict form.
+
+    Unknown keys are rejected rather than ignored: a typo in a manifest or a
+    field renamed between format versions must fail loudly, not silently fall
+    back to a default.  Missing keys fall back to the dataclass defaults so
+    old manifests keep loading after new fields are added.
+    """
+    if not isinstance(data, dict):
+        raise TypeError(f"expected a dict for {cls.__name__}, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} keys: {sorted(unknown)[:5]}")
+    hints = get_type_hints(cls)
+    kwargs = {}
+    for f in fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        hint = hints.get(f.name)
+        if is_dataclass(hint) and isinstance(value, dict):
+            value = config_from_dict(hint, value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -46,6 +88,25 @@ class DAAKGConfig:
             raise ValueError("base_model must be one of transe, rotate, compgcn")
         if self.entity_dim <= 0 or self.class_dim <= 0:
             raise ValueError("embedding dimensions must be positive")
+
+    # -------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """All knobs (nested configs included) as a JSON-serialisable dict."""
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DAAKGConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        return config_from_dict(cls, data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON form of the configuration (checkpoint manifests, deployments)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DAAKGConfig":
+        """Rebuild a configuration from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
 
     def with_ablation(self, name: str) -> "DAAKGConfig":
         """Return a copy with one named component switched off.

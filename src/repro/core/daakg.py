@@ -251,7 +251,7 @@ class DAAKG:
         loop_config = config or ActiveLearningConfig(
             pool=self.config.pool, inference=self.config.inference, calibration=self.config.calibration
         )
-        return ActiveLearningLoop(
+        loop = ActiveLearningLoop(
             self.pair,
             self.trainer,
             oracle or Oracle(self.pair),
@@ -259,6 +259,32 @@ class DAAKG:
             loop_config,
             seed=self.rng,
         )
+        # the loop checkpoints through the facade (it needs the original
+        # dataset and config, which only the facade holds)
+        loop.daakg = self
+        return loop
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path: str, loop: ActiveLearningLoop | None = None) -> None:
+        """Checkpoint the full pipeline state to the directory ``path``.
+
+        The checkpoint (one ``arrays.npz`` + one ``manifest.json``) captures
+        the dataset, model and optimiser state, labels, mined matches,
+        landmarks, the statistics snapshot and all RNG streams; pass ``loop``
+        to include an active-learning campaign's progress.  ``DAAKG.load``
+        restores the pipeline bit-exactly: ``evaluate()`` after a round-trip
+        reproduces the in-memory scores.
+        """
+        from repro.persistence import save_checkpoint  # circular at module level
+
+        save_checkpoint(path, self, loop=loop)
+
+    @classmethod
+    def load(cls, path: str) -> "DAAKG":
+        """Restore a pipeline from a checkpoint written by :meth:`save`."""
+        from repro.persistence import load_checkpoint, restore_pipeline
+
+        return restore_pipeline(load_checkpoint(path))
 
     # ------------------------------------------------------------------ stats
     def parameter_summary(self) -> dict[str, int]:

@@ -195,6 +195,28 @@ class KGEmbeddingModel(Module):
             ) / (2 * eps)
         return grad
 
+    def score_np_grad_head(
+        self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray
+    ) -> np.ndarray:
+        """Gradient of :meth:`score_np` with respect to the head embedding.
+
+        Needed by incremental fold-in (serving): a new entity appearing as the
+        head of its triples is optimised against frozen neighbours.  The
+        default uses central finite differences; translational models override
+        with the closed form.
+        """
+        eps = 1e-4
+        grad = np.zeros_like(head)
+        for i in range(head.shape[0]):
+            plus = head.copy()
+            minus = head.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            grad[i] = (
+                self.score_np(plus, relation_vec, tail) - self.score_np(minus, relation_vec, tail)
+            ) / (2 * eps)
+        return grad
+
     def solve_tail(
         self,
         head_embedding: np.ndarray,

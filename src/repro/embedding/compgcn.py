@@ -122,3 +122,8 @@ class CompGCN(KGEmbeddingModel):
         if norm < 1e-12:
             return np.zeros_like(tail)
         return diff / norm
+
+    def score_np_grad_head(
+        self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray
+    ) -> np.ndarray:
+        return -self.score_np_grad_tail(head, relation_vec, tail)

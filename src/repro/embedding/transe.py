@@ -55,6 +55,11 @@ class TransE(KGEmbeddingModel):
             return np.zeros_like(tail)
         return diff / norm
 
+    def score_np_grad_head(
+        self, head: np.ndarray, relation_vec: np.ndarray, tail: np.ndarray
+    ) -> np.ndarray:
+        return -self.score_np_grad_tail(head, relation_vec, tail)
+
     def solve_tail(
         self,
         head_embedding: np.ndarray,

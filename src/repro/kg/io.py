@@ -6,11 +6,13 @@ The OpenEA benchmark (used by the paper) stores each dataset as a directory::
     attr_triples_1  attr_triples_2    # ignored here (literal attributes)
     ent_links                         # tab-separated gold entity matches
 
-This module reads/writes that layout, extended with three optional files used
-by this reproduction: ``type_triples_{1,2}`` for entity-class memberships and
-``rel_links`` / ``cls_links`` for gold schema matches.  Datasets produced by
-:mod:`repro.datasets` round-trip through these functions, and a real OpenEA
-download can be loaded with the same call.
+This module reads/writes that layout, extended with optional files used by
+this reproduction: ``type_triples_{1,2}`` for entity-class memberships,
+``rel_links`` / ``cls_links`` for gold schema matches, and
+``ent_links_{train,valid,test}`` for the entity-match split (so a saved
+dataset restores with the exact split it was trained on, instead of silently
+dropping it).  Datasets produced by :mod:`repro.datasets` round-trip through
+these functions, and a real OpenEA download can be loaded with the same call.
 """
 
 from __future__ import annotations
@@ -68,6 +70,13 @@ def load_openea_directory(directory: str | os.PathLike, name: str | None = None)
     cls_links_path = directory / "cls_links"
     cls_pairs = [tuple(r) for r in _read_tsv(cls_links_path, 2)] if cls_links_path.exists() else []
 
+    splits = {}
+    for split in ("train", "valid", "test"):
+        split_path = directory / f"ent_links_{split}"
+        splits[split] = (
+            [tuple(r) for r in _read_tsv(split_path, 2)] if split_path.exists() else []
+        )
+
     return AlignedKGPair(
         name=dataset_name,
         kg1=kg1,
@@ -75,6 +84,9 @@ def load_openea_directory(directory: str | os.PathLike, name: str | None = None)
         entity_alignment=GoldAlignment(ElementKind.ENTITY, ent_pairs),
         relation_alignment=GoldAlignment(ElementKind.RELATION, rel_pairs),
         class_alignment=GoldAlignment(ElementKind.CLASS, cls_pairs),
+        train_entity_pairs=splits["train"],
+        valid_entity_pairs=splits["valid"],
+        test_entity_pairs=splits["test"],
     )
 
 
@@ -91,3 +103,10 @@ def save_openea_directory(pair: AlignedKGPair, directory: str | os.PathLike) -> 
     _write_tsv(directory / "ent_links", pair.entity_alignment.pairs)
     _write_tsv(directory / "rel_links", pair.relation_alignment.pairs)
     _write_tsv(directory / "cls_links", pair.class_alignment.pairs)
+    for split, pairs in (
+        ("train", pair.train_entity_pairs),
+        ("valid", pair.valid_entity_pairs),
+        ("test", pair.test_entity_pairs),
+    ):
+        if pairs:
+            _write_tsv(directory / f"ent_links_{split}", pairs)

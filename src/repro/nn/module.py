@@ -109,13 +109,23 @@ class Module:
             for key, value in obj.items():
                 Module._state(f"{prefix}[{key}]", value, state, seen)
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter arrays previously produced by :meth:`state_dict`."""
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = False) -> None:
+        """Load parameter arrays previously produced by :meth:`state_dict`.
+
+        ``strict=True`` additionally requires the state dict to cover *every*
+        parameter of the module — the contract checkpoint restoration needs,
+        where a silently missing key would leave a freshly initialised
+        parameter in a supposedly bit-exact reload.
+        """
         own = {}
         self._named(self, "", own, set())
         missing = set(state) - set(own)
         if missing:
             raise KeyError(f"state dict has unknown keys: {sorted(missing)[:5]}")
+        if strict:
+            uncovered = set(own) - set(state)
+            if uncovered:
+                raise KeyError(f"state dict is missing parameters: {sorted(uncovered)[:5]}")
         # validate every shape before mutating anything, so a bad entry cannot
         # leave the module half-loaded with parameter-derived caches unbumped
         for key, array in state.items():

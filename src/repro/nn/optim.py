@@ -49,6 +49,47 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------ state dicts
+    # Optimiser progress (moment buffers, step counts) is part of a training
+    # checkpoint: without it a resumed Adam restarts its bias correction and
+    # the run diverges from the uninterrupted one.  Hyper-parameters (lr,
+    # betas, momentum) are deliberately NOT included — they belong to the
+    # configuration that reconstructs the optimiser.
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of the optimiser's progress state as a flat array dict."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load progress state produced by :meth:`state_dict`.
+
+        Validates keys and shapes against the current parameter list before
+        mutating anything, mirroring ``Module.load_state_dict``: a bad entry
+        can never leave the optimiser half-loaded.
+        """
+        self._validate_state(state)
+        self._apply_state(state)
+
+    def _expected_shapes(self) -> dict[str, tuple[int, ...]]:
+        """Shape of every expected state entry (empty tuple for scalars)."""
+        return {}
+
+    def _apply_state(self, state: dict[str, np.ndarray]) -> None:
+        if state:  # pragma: no cover - defensive, base expects empty state
+            raise NotImplementedError
+
+    def _validate_state(self, state: dict[str, np.ndarray]) -> None:
+        expected = self._expected_shapes()
+        missing = set(expected) - set(state)
+        if missing:
+            raise KeyError(f"optimizer state dict is missing keys: {sorted(missing)[:5]}")
+        unknown = set(state) - set(expected)
+        if unknown:
+            raise KeyError(f"optimizer state dict has unknown keys: {sorted(unknown)[:5]}")
+        for key, shape in expected.items():
+            got = np.asarray(state[key]).shape
+            if got != shape:
+                raise ValueError(f"shape mismatch for {key}: expected {shape}, got {got}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -68,6 +109,16 @@ class SGD(Optimizer):
             v -= self.lr * p.grad
             p.data = p.data + v
         bump_parameter_version()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def _expected_shapes(self) -> dict[str, tuple[int, ...]]:
+        return {f"velocity.{i}": v.shape for i, v in enumerate(self._velocity)}
+
+    def _apply_state(self, state: dict[str, np.ndarray]) -> None:
+        for i, v in enumerate(self._velocity):
+            v[...] = np.asarray(state[f"velocity.{i}"])
 
 
 class Adam(Optimizer):
@@ -105,3 +156,23 @@ class Adam(Optimizer):
             v_hat = v / (1.0 - self.beta2**self._t)
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
         bump_parameter_version()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"t": np.asarray(self._t, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def _expected_shapes(self) -> dict[str, tuple[int, ...]]:
+        shapes: dict[str, tuple[int, ...]] = {"t": ()}
+        for i, m in enumerate(self._m):
+            shapes[f"m.{i}"] = m.shape
+            shapes[f"v.{i}"] = m.shape
+        return shapes
+
+    def _apply_state(self, state: dict[str, np.ndarray]) -> None:
+        self._t = int(np.asarray(state["t"]))
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            m[...] = np.asarray(state[f"m.{i}"])
+            v[...] = np.asarray(state[f"v.{i}"])

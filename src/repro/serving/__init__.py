@@ -1,0 +1,26 @@
+"""Online serving of alignment queries from frozen pipeline snapshots.
+
+:class:`AlignmentService` loads a checkpoint (or wraps a fitted pipeline) and
+answers ``top_k_alignments`` / ``score_pairs`` queries from the cached
+similarity matrices, with request micro-batching, a state-token-keyed LRU
+result cache, atomic hot-swap to newer checkpoints, and incremental fold-in
+of new entities without recomputing the full similarity state.
+"""
+
+from repro.serving.service import (
+    AlignmentService,
+    FoldInReport,
+    ServiceStats,
+    ServingError,
+    ServingSnapshot,
+    Ticket,
+)
+
+__all__ = [
+    "AlignmentService",
+    "FoldInReport",
+    "ServiceStats",
+    "ServingError",
+    "ServingSnapshot",
+    "Ticket",
+]

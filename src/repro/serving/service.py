@@ -1,0 +1,549 @@
+"""The online :class:`AlignmentService`.
+
+The training stack answers similarity queries by holding live models, caches
+and autograd graphs.  Serving needs none of that: a *frozen snapshot* of the
+similarity matrices (and just enough model state for fold-in) answers
+``top_k_alignments`` and ``score_pairs`` queries with plain array gathers.
+
+Design points:
+
+* **Immutable snapshots, atomic swap** — all serving state lives in one
+  :class:`ServingSnapshot` object referenced by a single attribute.  Hot-swap
+  to a newer checkpoint and incremental fold-in both *build a new snapshot*
+  and replace that one reference, so a query sequence never observes a
+  half-updated state.
+* **State-token cache keys** — every snapshot carries a ``token`` (the
+  checkpoint's content hash, extended per fold-in).  The LRU result cache
+  keys on it, so stale results can never be served after a swap or fold-in
+  without any explicit invalidation.
+* **Micro-batching** — ``enqueue_*`` queues single queries; ``flush`` (called
+  automatically when ``max_batch`` queries are pending, or lazily by
+  ``Ticket.result``) answers all pending queries of each shape with one
+  vectorised gather instead of per-query matrix rows.
+* **Incremental fold-in** — a new entity arriving with its triples gets an
+  output-space embedding optimised against the frozen model (a few gradient
+  steps on only the new row, via ``score_np_grad_head`` /
+  ``score_np_grad_tail``), and is *appended* to the cached similarity matrix
+  as one new row/column — an ``O(n·d)`` update instead of the ``O(n₁·n₂·d)``
+  full similarity recompute.  Folded-in columns carry the embedding channel
+  only (no structural propagation), matching how a cold entity would score
+  before the next full training round.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.alignment.calibration import AlignmentCalibrator
+from repro.kg.elements import ElementKind
+from repro.utils.logging import get_logger
+from repro.utils.math import l2_normalize, top_k_rows
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with core
+    from repro.core.daakg import DAAKG
+    from repro.embedding.base import KGEmbeddingModel
+
+logger = get_logger(__name__)
+
+
+class ServingError(RuntimeError):
+    """Raised for unknown elements, malformed fold-in triples, or misuse."""
+
+
+# Process-unique discriminator for in-memory snapshot tokens: the engine's
+# version triple alone is not unique across *different* pipelines (each has
+# its own snapshot/landmark counters), and a colliding token would let the
+# LRU cache serve one pipeline's results for another after a hot-swap.
+_TOKEN_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class ServingSnapshot:
+    """One immutable serving state: matrices, vocabularies, fold-in support."""
+
+    token: str
+    entity_names_1: tuple[str, ...]
+    entity_names_2: tuple[str, ...]
+    entity_index_1: dict[str, int]
+    entity_index_2: dict[str, int]
+    relation_index_1: dict[str, int]
+    relation_index_2: dict[str, int]
+    similarity: dict[ElementKind, np.ndarray]
+    map_entity: np.ndarray
+    entity_out_1: np.ndarray
+    entity_out_2: np.ndarray
+    relation_out_1: np.ndarray
+    relation_out_2: np.ndarray
+    norm_mapped_1: np.ndarray  # unit rows of entity_out_1 @ map_entity
+    norm_out_2: np.ndarray  # unit rows of entity_out_2
+    model_1: "KGEmbeddingModel"
+    model_2: "KGEmbeddingModel"
+    calibrator: AlignmentCalibrator
+    fold_count: int = 0
+
+    @classmethod
+    def from_pipeline(cls, daakg: "DAAKG", token: str | None = None) -> "ServingSnapshot":
+        """Freeze a fitted pipeline's current similarity state for serving."""
+        model = daakg.model
+        engine = model.similarity
+        similarity = engine.export_state()
+        snap = engine.snapshot
+        if token is None:
+            token = f"mem-{next(_TOKEN_COUNTER)}-" + "-".join(
+                str(v) for v in engine.state_token()
+            )
+        entity_out_1 = snap.entity_matrix_1.copy()
+        entity_out_2 = snap.entity_matrix_2.copy()
+        map_entity = model.map_entity.data.copy()
+        return cls(
+            token=token,
+            entity_names_1=tuple(model.kg1.entities),
+            entity_names_2=tuple(model.kg2.entities),
+            entity_index_1=dict(model.kg1.entity_index),
+            entity_index_2=dict(model.kg2.entity_index),
+            relation_index_1=dict(model.kg1.relation_index),
+            relation_index_2=dict(model.kg2.relation_index),
+            similarity=similarity,
+            map_entity=map_entity,
+            entity_out_1=entity_out_1,
+            entity_out_2=entity_out_2,
+            relation_out_1=snap.relation_matrix_1.copy(),
+            relation_out_2=snap.relation_matrix_2.copy(),
+            norm_mapped_1=l2_normalize(entity_out_1 @ map_entity),
+            norm_out_2=l2_normalize(entity_out_2),
+            model_1=model.model1,
+            model_2=model.model2,
+            calibrator=AlignmentCalibrator(daakg.config.calibration),
+        )
+
+
+@dataclass
+class Ticket:
+    """A pending micro-batched query; ``result()`` flushes if still queued."""
+
+    service: "AlignmentService"
+    op: str
+    args: tuple
+    ready: bool = False
+    value: object = None
+    error: Exception | None = None
+
+    def result(self):
+        if not self.ready:
+            self.service.flush()
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+@dataclass
+class FoldInReport:
+    """What one incremental fold-in did, and what it cost."""
+
+    name: str
+    side: int
+    index: int
+    num_triples: int
+    seconds: float
+    token: str
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters for throughput accounting."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    flushes: int = 0
+    folds: int = 0
+    swaps: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "flushes": self.flushes,
+            "folds": self.folds,
+            "swaps": self.swaps,
+        }
+
+
+class AlignmentService:
+    """Read-optimised alignment queries over a frozen pipeline snapshot."""
+
+    def __init__(
+        self,
+        state: ServingSnapshot,
+        max_batch: int = 64,
+        cache_size: int = 4096,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self._state = state
+        self.max_batch = max_batch
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
+        self._pending: list[Ticket] = []
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_pipeline(cls, daakg: "DAAKG", **kwargs) -> "AlignmentService":
+        """Serve directly from a fitted in-memory pipeline."""
+        return cls(ServingSnapshot.from_pipeline(daakg), **kwargs)
+
+    @classmethod
+    def from_checkpoint(cls, path: str | os.PathLike, **kwargs) -> "AlignmentService":
+        """Load a checkpoint written by ``DAAKG.save`` and serve its snapshot.
+
+        The snapshot's state token is the checkpoint's content hash, so
+        results cached against one checkpoint can never leak into another.
+        """
+        from repro.persistence import load_checkpoint, restore_pipeline
+
+        checkpoint = load_checkpoint(path)
+        daakg = restore_pipeline(checkpoint)
+        token = "ckpt-" + checkpoint.manifest["arrays"]["sha256"][:16]
+        return cls(ServingSnapshot.from_pipeline(daakg, token=token), **kwargs)
+
+    # ----------------------------------------------------------------- lookups
+    @property
+    def state_token(self) -> str:
+        """The current snapshot's token (changes on hot-swap and fold-in)."""
+        return self._state.token
+
+    def num_entities(self, side: int) -> int:
+        state = self._state
+        return len(state.entity_names_1 if side == 1 else state.entity_names_2)
+
+    def _entity_id(self, state: ServingSnapshot, side: int, uri: str) -> int:
+        index = state.entity_index_1 if side == 1 else state.entity_index_2
+        try:
+            return index[uri]
+        except KeyError as exc:
+            raise ServingError(f"unknown KG{side} entity {uri!r}") from exc
+
+    # ----------------------------------------------------------------- queries
+    def top_k_alignments(
+        self, uris: Sequence[str], k: int = 10
+    ) -> list[list[tuple[str, float]]]:
+        """The ``k`` best KG2 counterparts of each KG1 entity, with scores.
+
+        Vectorised: all cache-missing rows are gathered and ranked in one
+        ``argpartition`` call, so a batch of ``m`` queries costs one
+        ``(m, |E2|)`` slice rather than ``m`` row scans.
+        """
+        state = self._state
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        results: list[list[tuple[str, float]] | None] = [None] * len(uris)
+        miss_rows: list[int] = []
+        miss_positions: list[int] = []
+        for position, uri in enumerate(uris):
+            self.stats.queries += 1
+            cached = self._cache_get((state.token, "topk", uri, k))
+            if cached is not None:
+                results[position] = cached
+                continue
+            miss_rows.append(self._entity_id(state, 1, uri))
+            miss_positions.append(position)
+        if miss_rows:
+            matrix = state.similarity[ElementKind.ENTITY]
+            rows = matrix[np.asarray(miss_rows, dtype=np.int64)]
+            top = top_k_rows(rows, min(k, rows.shape[1]))
+            for i, position in enumerate(miss_positions):
+                entry = [
+                    (state.entity_names_2[j], float(rows[i, j])) for j in top[i]
+                ]
+                results[position] = entry
+                self._cache_put((state.token, "topk", uris[position], k), entry)
+        return results  # type: ignore[return-value]
+
+    def score_pairs(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
+        """Similarity scores for ``(kg1 uri, kg2 uri)`` pairs, as one array."""
+        state = self._state
+        scores = np.empty(len(pairs), dtype=float)
+        miss_lefts: list[int] = []
+        miss_rights: list[int] = []
+        miss_positions: list[int] = []
+        for position, (left, right) in enumerate(pairs):
+            self.stats.queries += 1
+            cached = self._cache_get((state.token, "score", left, right))
+            if cached is not None:
+                scores[position] = cached
+                continue
+            miss_lefts.append(self._entity_id(state, 1, left))
+            miss_rights.append(self._entity_id(state, 2, right))
+            miss_positions.append(position)
+        if miss_positions:
+            matrix = state.similarity[ElementKind.ENTITY]
+            values = matrix[
+                np.asarray(miss_lefts, dtype=np.int64),
+                np.asarray(miss_rights, dtype=np.int64),
+            ]
+            for i, position in enumerate(miss_positions):
+                scores[position] = values[i]
+                left, right = pairs[position]
+                self._cache_put((state.token, "score", left, right), float(values[i]))
+        return scores
+
+    def pair_probabilities(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
+        """Calibrated match probabilities (Eq. 12) for entity URI pairs."""
+        state = self._state
+        self.stats.queries += len(pairs)
+        lefts = np.asarray([self._entity_id(state, 1, a) for a, _ in pairs], dtype=np.int64)
+        rights = np.asarray([self._entity_id(state, 2, b) for _, b in pairs], dtype=np.int64)
+        return state.calibrator.pair_probabilities(
+            state.similarity[ElementKind.ENTITY], ElementKind.ENTITY, lefts, rights
+        )
+
+    # ----------------------------------------------------------- micro-batches
+    def enqueue_top_k(self, uri: str, k: int = 10) -> Ticket:
+        """Queue one top-k query; resolved at the next :meth:`flush`."""
+        return self._enqueue("topk", (uri, k))
+
+    def enqueue_score(self, left: str, right: str) -> Ticket:
+        """Queue one pair-score query; resolved at the next :meth:`flush`."""
+        return self._enqueue("score", (left, right))
+
+    def _enqueue(self, op: str, args: tuple) -> Ticket:
+        ticket = Ticket(self, op, args)
+        self._pending.append(ticket)
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Answer every pending query, grouped into vectorised batches.
+
+        Returns the number of tickets resolved.  Queries of the same shape
+        (same ``k`` for top-k; all pair scores) share one matrix gather.  A
+        bad query (e.g. an unknown URI) fails only its own ticket —
+        ``Ticket.result`` re-raises its error — never the rest of the batch:
+        on a group failure the group falls back to per-ticket resolution.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return 0
+        self.stats.flushes += 1
+        by_k: dict[int, list[Ticket]] = {}
+        score_tickets: list[Ticket] = []
+        for ticket in pending:
+            if ticket.op == "topk":
+                by_k.setdefault(ticket.args[1], []).append(ticket)
+            else:
+                score_tickets.append(ticket)
+        for k, tickets in by_k.items():
+            self._resolve_group(
+                tickets, lambda ts: self.top_k_alignments([t.args[0] for t in ts], k)
+            )
+        if score_tickets:
+            self._resolve_group(
+                score_tickets,
+                lambda ts: [float(v) for v in self.score_pairs([t.args for t in ts])],
+            )
+        return len(pending)
+
+    @staticmethod
+    def _resolve_group(tickets: list[Ticket], answer_batch) -> None:
+        try:
+            answers = answer_batch(tickets)
+        except ServingError:
+            # isolate the offender: re-run one ticket at a time
+            for ticket in tickets:
+                try:
+                    ticket.value = answer_batch([ticket])[0]
+                except ServingError as exc:
+                    ticket.error = exc
+                ticket.ready = True
+            return
+        for ticket, answer in zip(tickets, answers):
+            ticket.value = answer
+            ticket.ready = True
+
+    # -------------------------------------------------------------- hot swap
+    def hot_swap(self, source: "str | os.PathLike | DAAKG") -> str:
+        """Atomically replace the serving state with a newer snapshot.
+
+        ``source`` is a checkpoint directory or a fitted pipeline.  The new
+        snapshot is fully built *before* the single reference assignment, so
+        concurrent readers observe either the old or the new state, never a
+        mixture; pending micro-batch tickets are flushed against the old
+        state first.  Returns the new state token.
+        """
+        from repro.core.daakg import DAAKG  # circular at module level
+
+        self.flush()
+        if isinstance(source, DAAKG):
+            state = ServingSnapshot.from_pipeline(source)
+        else:
+            from repro.persistence import load_checkpoint, restore_pipeline
+
+            checkpoint = load_checkpoint(source)
+            token = "ckpt-" + checkpoint.manifest["arrays"]["sha256"][:16]
+            state = ServingSnapshot.from_pipeline(restore_pipeline(checkpoint), token=token)
+        self._state = state
+        self.stats.swaps += 1
+        logger.info("hot-swapped serving state to %s", state.token)
+        return state.token
+
+    # --------------------------------------------------------------- fold-in
+    def fold_in(
+        self,
+        name: str,
+        triples: Sequence[tuple[str, str, str]],
+        side: int = 2,
+        steps: int = 15,
+        lr: float = 0.1,
+    ) -> FoldInReport:
+        """Add a new entity to the serving state without a full recompute.
+
+        ``triples`` are ``(head, relation, tail)`` name triples in which
+        ``name`` appears as head or tail and every other element already
+        exists on ``side``.  The new entity's output-space embedding starts
+        from the translational estimate implied by its neighbours and is
+        refined by ``steps`` gradient steps of the frozen model's ``f_er`` —
+        only the new row moves.  It is then appended to the cached similarity
+        matrix as one new column (``side=2``) or row (``side=1``), and the
+        whole updated state replaces the old one atomically.
+        """
+        if side not in (1, 2):
+            raise ValueError("side must be 1 or 2")
+        if not triples:
+            raise ServingError(f"fold-in of {name!r} needs at least one triple")
+        start = time.perf_counter()
+        state = self._state
+        entity_index = state.entity_index_1 if side == 1 else state.entity_index_2
+        relation_index = state.relation_index_1 if side == 1 else state.relation_index_2
+        entity_out = state.entity_out_1 if side == 1 else state.entity_out_2
+        relation_out = state.relation_out_1 if side == 1 else state.relation_out_2
+        model = state.model_1 if side == 1 else state.model_2
+        if name in entity_index:
+            raise ServingError(f"entity {name!r} already exists on side {side}")
+
+        head_role: list[tuple[np.ndarray, np.ndarray]] = []  # (r_vec, tail_vec)
+        tail_role: list[tuple[np.ndarray, np.ndarray]] = []  # (head_vec, r_vec)
+        estimates: list[np.ndarray] = []
+        for head, relation, tail in triples:
+            if relation not in relation_index:
+                raise ServingError(f"unknown side-{side} relation {relation!r}")
+            r_vec = relation_out[relation_index[relation]]
+            if head == name and tail in entity_index:
+                tail_vec = entity_out[entity_index[tail]]
+                head_role.append((r_vec, tail_vec))
+                estimates.append(tail_vec - r_vec)
+            elif tail == name and head in entity_index:
+                head_vec = entity_out[entity_index[head]]
+                tail_role.append((head_vec, r_vec))
+                estimates.append(head_vec + r_vec)
+            else:
+                raise ServingError(
+                    f"fold-in triple {(head, relation, tail)!r} must connect "
+                    f"{name!r} to an existing side-{side} entity"
+                )
+
+        # Minimise Σ ½·f_er² over the new row only.  The squared objective is
+        # what makes this stable: its gradient ``f_er · ∇f_er`` shrinks with
+        # the residual, whereas raw ``∇f_er`` has unit magnitude for
+        # norm-based scores and oscillates around the optimum.
+        vector = np.mean(estimates, axis=0)
+        scale = 1.0 / len(triples)
+        for _ in range(max(0, steps)):
+            grad = np.zeros_like(vector)
+            for r_vec, tail_vec in head_role:
+                score = model.score_np(vector, r_vec, tail_vec)
+                grad += score * model.score_np_grad_head(vector, r_vec, tail_vec)
+            for head_vec, r_vec in tail_role:
+                score = model.score_np(head_vec, r_vec, vector)
+                grad += score * model.score_np_grad_tail(head_vec, r_vec, vector)
+            delta = lr * scale * grad
+            vector -= delta
+            if float(np.linalg.norm(delta)) < 1e-6 * max(1.0, float(np.linalg.norm(vector))):
+                break  # converged — translational models often start at the optimum
+
+        new_state = self._append_entity(state, side, name, vector)
+        self._state = new_state
+        self.stats.folds += 1
+        index = self.num_entities(side) - 1
+        report = FoldInReport(
+            name=name,
+            side=side,
+            index=index,
+            num_triples=len(triples),
+            seconds=time.perf_counter() - start,
+            token=new_state.token,
+        )
+        logger.info(
+            "folded in %s on side %d (%d triples, %.2f ms)",
+            name, side, len(triples), report.seconds * 1e3,
+        )
+        return report
+
+    @staticmethod
+    def _append_entity(
+        state: ServingSnapshot, side: int, name: str, vector: np.ndarray
+    ) -> ServingSnapshot:
+        """A new snapshot with ``vector`` appended on ``side`` (O(n·d) work)."""
+        similarity = dict(state.similarity)
+        entity_sim = similarity[ElementKind.ENTITY]
+        token = f"{state.token}+fold{state.fold_count + 1}"
+        if side == 2:
+            unit = l2_normalize(vector)
+            column = state.norm_mapped_1 @ unit
+            similarity[ElementKind.ENTITY] = np.concatenate(
+                [entity_sim, column[:, None]], axis=1
+            )
+            index = dict(state.entity_index_2)
+            index[name] = len(state.entity_names_2)
+            return replace(
+                state,
+                token=token,
+                fold_count=state.fold_count + 1,
+                similarity=similarity,
+                entity_names_2=state.entity_names_2 + (name,),
+                entity_index_2=index,
+                entity_out_2=np.concatenate([state.entity_out_2, vector[None, :]]),
+                norm_out_2=np.concatenate([state.norm_out_2, unit[None, :]]),
+            )
+        mapped_unit = l2_normalize(vector @ state.map_entity)
+        row = state.norm_out_2 @ mapped_unit
+        similarity[ElementKind.ENTITY] = np.concatenate([entity_sim, row[None, :]], axis=0)
+        index = dict(state.entity_index_1)
+        index[name] = len(state.entity_names_1)
+        return replace(
+            state,
+            token=token,
+            fold_count=state.fold_count + 1,
+            similarity=similarity,
+            entity_names_1=state.entity_names_1 + (name,),
+            entity_index_1=index,
+            entity_out_1=np.concatenate([state.entity_out_1, vector[None, :]]),
+            norm_mapped_1=np.concatenate([state.norm_mapped_1, mapped_unit[None, :]]),
+        )
+
+    # ------------------------------------------------------------------ cache
+    def _cache_get(self, key: tuple):
+        if self.cache_size == 0:
+            return None
+        value = self._cache.get(key)
+        if value is not None:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+        return value
+
+    def _cache_put(self, key: tuple, value) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)

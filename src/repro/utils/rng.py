@@ -7,6 +7,7 @@ three into a ``Generator`` so experiments are reproducible end to end.
 
 from __future__ import annotations
 
+import copy
 from typing import Optional, Union
 
 import numpy as np
@@ -33,3 +34,26 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """
     seeds = rng.integers(0, 2**31 - 1, size=n)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """The bit-generator state of ``rng`` as a JSON-serialisable dict.
+
+    The returned dict fully determines the generator's future stream, so
+    storing it in a checkpoint manifest and restoring it with
+    :func:`set_rng_state` resumes the stream bit-exactly.  States are plain
+    dicts of strings and (arbitrary-precision) ints for every NumPy bit
+    generator, so ``json.dumps`` round-trips them losslessly.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a state captured by :func:`get_rng_state` into ``rng`` in place.
+
+    The generator must use the same bit-generator algorithm the state was
+    captured from (NumPy validates the ``bit_generator`` tag and raises
+    otherwise).  Returns ``rng`` for convenience.
+    """
+    rng.bit_generator.state = copy.deepcopy(state)
+    return rng

@@ -174,6 +174,39 @@ class TestIO:
         assert loaded.summary() == tiny_pair.summary()
         assert set(loaded.entity_alignment.pairs) == set(tiny_pair.entity_alignment.pairs)
 
+    def test_openea_roundtrip_full_fidelity(self, tiny_pair, tmp_path):
+        """Exact content per side: triples, type triples, links and splits."""
+        directory = tmp_path / "dataset"
+        save_openea_directory(tiny_pair, directory)
+        assert (directory / "type_triples_1").is_file()
+        assert (directory / "type_triples_2").is_file()
+        loaded = load_openea_directory(directory, name=tiny_pair.name)
+        assert loaded.name == tiny_pair.name
+        for got, want in ((loaded.kg1, tiny_pair.kg1), (loaded.kg2, tiny_pair.kg2)):
+            assert set(t.as_tuple() for t in got.triples) == set(
+                t.as_tuple() for t in want.triples
+            )
+            assert set((tt.entity, tt.cls) for tt in got.type_triples) == set(
+                (tt.entity, tt.cls) for tt in want.type_triples
+            )
+            assert set(got.classes) == set(want.classes)
+        assert loaded.relation_alignment.pairs == tiny_pair.relation_alignment.pairs
+        assert loaded.class_alignment.pairs == tiny_pair.class_alignment.pairs
+        # the entity-match split survives the round trip (ent_links_{train,test})
+        assert loaded.train_entity_pairs == tiny_pair.train_entity_pairs
+        assert loaded.valid_entity_pairs == tiny_pair.valid_entity_pairs
+        assert loaded.test_entity_pairs == tiny_pair.test_entity_pairs
+
+    def test_openea_roundtrip_twice_is_stable(self, tiny_pair, tmp_path):
+        """Save → load → save again produces byte-identical files."""
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        save_openea_directory(tiny_pair, first)
+        save_openea_directory(load_openea_directory(first), second)
+        for name in ("rel_triples_1", "rel_triples_2", "type_triples_1",
+                     "type_triples_2", "ent_links", "rel_links", "cls_links"):
+            assert (first / name).read_text() == (second / name).read_text()
+
     def test_load_missing_directory_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_openea_directory(tmp_path / "missing")

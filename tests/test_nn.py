@@ -153,3 +153,71 @@ class TestOptimizers:
         optimizer = Adam([param], lr=0.1)
         optimizer.step()  # no backward was run; should not raise
         assert param.data[0] == pytest.approx(1.0)
+
+
+def _stepped(optimizer_factory, steps=3):
+    param = Parameter(np.array([5.0, -3.0]))
+    optimizer = optimizer_factory([param])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        ((param - Tensor(np.array([1.0, 2.0]))) ** 2).sum().backward()
+        optimizer.step()
+    return param, optimizer
+
+
+class TestOptimizerStateDicts:
+    def test_adam_state_round_trip_resumes_identically(self):
+        param, optimizer = _stepped(lambda p: Adam(p, lr=0.1))
+        state = optimizer.state_dict()
+        fresh_param = Parameter(param.data.copy())
+        fresh = Adam([fresh_param], lr=0.1)
+        fresh.load_state_dict(state)
+        assert fresh._t == optimizer._t
+        for a, b in ((param, fresh_param),):
+            a.zero_grad(); b.zero_grad()
+            ((a - Tensor(np.array([1.0, 2.0]))) ** 2).sum().backward()
+            ((b - Tensor(np.array([1.0, 2.0]))) ** 2).sum().backward()
+        optimizer.step()
+        fresh.step()
+        np.testing.assert_array_equal(param.data, fresh_param.data)
+
+    def test_sgd_momentum_state_round_trip(self):
+        param, optimizer = _stepped(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        state = optimizer.state_dict()
+        fresh = SGD([Parameter(param.data.copy())], lr=0.05, momentum=0.9)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh._velocity[0], optimizer._velocity[0])
+
+    def test_state_dict_is_a_copy(self):
+        _, optimizer = _stepped(lambda p: Adam(p, lr=0.1))
+        state = optimizer.state_dict()
+        state["m.0"][:] = 123.0
+        assert not np.array_equal(optimizer._m[0], state["m.0"])
+
+    def test_load_rejects_missing_and_unknown_keys(self):
+        _, optimizer = _stepped(lambda p: Adam(p, lr=0.1))
+        state = optimizer.state_dict()
+        incomplete = {k: v for k, v in state.items() if k != "t"}
+        with pytest.raises(KeyError, match="missing"):
+            optimizer.load_state_dict(incomplete)
+        extra = dict(state)
+        extra["bogus"] = np.zeros(2)
+        with pytest.raises(KeyError, match="unknown"):
+            optimizer.load_state_dict(extra)
+
+    def test_load_rejects_shape_mismatch(self):
+        _, optimizer = _stepped(lambda p: SGD(p, lr=0.1, momentum=0.5))
+        state = optimizer.state_dict()
+        state["velocity.0"] = np.zeros(5)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            optimizer.load_state_dict(state)
+
+    def test_load_validates_before_mutating(self):
+        _, optimizer = _stepped(lambda p: Adam(p, lr=0.1))
+        before_m = optimizer._m[0].copy()
+        state = optimizer.state_dict()
+        state["v.0"] = np.zeros(7)  # bad shape, but m.0 entry is valid
+        state["m.0"] = np.full_like(before_m, 99.0)
+        with pytest.raises(ValueError):
+            optimizer.load_state_dict(state)
+        np.testing.assert_array_equal(optimizer._m[0], before_m)

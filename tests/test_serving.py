@@ -1,0 +1,213 @@
+"""The online AlignmentService: queries, caching, batching, swap, fold-in."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.elements import ElementKind
+from repro.serving import AlignmentService, ServingError
+
+
+@pytest.fixture(scope="module")
+def service(fitted_pipeline):
+    return AlignmentService.from_pipeline(fitted_pipeline)
+
+
+@pytest.fixture(scope="module")
+def entity_matrix(fitted_pipeline):
+    return fitted_pipeline.model.entity_similarity_matrix().copy()
+
+
+# ------------------------------------------------------------------- queries
+def test_top_k_matches_engine_matrix(service, fitted_pipeline, entity_matrix):
+    uris = list(fitted_pipeline.kg1.entities[:4])
+    results = service.top_k_alignments(uris, k=5)
+    for uri, ranked in zip(uris, results):
+        row = entity_matrix[fitted_pipeline.kg1.entity_id(uri)]
+        assert len(ranked) == 5
+        assert ranked[0][1] == pytest.approx(row.max(), abs=0)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(name in fitted_pipeline.kg2.entity_index for name, _ in ranked)
+
+
+def test_score_pairs_matches_engine_matrix(service, fitted_pipeline, entity_matrix):
+    pairs = [
+        (fitted_pipeline.kg1.entities[i], fitted_pipeline.kg2.entities[j])
+        for i, j in ((0, 0), (1, 3), (5, 2))
+    ]
+    scores = service.score_pairs(pairs)
+    for (left, right), score in zip(pairs, scores):
+        i = fitted_pipeline.kg1.entity_id(left)
+        j = fitted_pipeline.kg2.entity_id(right)
+        assert score == entity_matrix[i, j]
+
+
+def test_pair_probabilities_match_full_matrix(service, fitted_pipeline, entity_matrix):
+    expected = fitted_pipeline.calibrator.probability_matrix(
+        entity_matrix, ElementKind.ENTITY
+    )
+    pairs = [(fitted_pipeline.kg1.entities[2], fitted_pipeline.kg2.entities[7])]
+    probabilities = service.pair_probabilities(pairs)
+    np.testing.assert_allclose(probabilities[0], expected[2, 7], rtol=0, atol=1e-12)
+
+
+def test_unknown_uri_raises(service):
+    with pytest.raises(ServingError, match="unknown KG1 entity"):
+        service.top_k_alignments(["definitely-not-an-entity"], k=3)
+
+
+# -------------------------------------------------------------------- caching
+def test_lru_cache_hits_on_repeat(fitted_pipeline):
+    service = AlignmentService.from_pipeline(fitted_pipeline)
+    uris = list(fitted_pipeline.kg1.entities[:3])
+    service.top_k_alignments(uris, k=4)
+    assert service.stats.cache_hits == 0
+    first = service.top_k_alignments(uris, k=4)
+    assert service.stats.cache_hits == 3
+    assert first == service.top_k_alignments(uris, k=4)
+
+
+def test_cache_eviction_respects_capacity(fitted_pipeline):
+    service = AlignmentService.from_pipeline(fitted_pipeline, cache_size=2)
+    uris = list(fitted_pipeline.kg1.entities[:5])
+    service.top_k_alignments(uris, k=3)
+    assert len(service._cache) == 2
+
+
+# ------------------------------------------------------------- micro-batching
+def test_microbatching_resolves_on_flush(fitted_pipeline, entity_matrix):
+    service = AlignmentService.from_pipeline(fitted_pipeline, max_batch=100)
+    uri = fitted_pipeline.kg1.entities[0]
+    ticket_top = service.enqueue_top_k(uri, k=3)
+    ticket_score = service.enqueue_score(uri, fitted_pipeline.kg2.entities[1])
+    assert not ticket_top.ready and not ticket_score.ready
+    resolved = service.flush()
+    assert resolved == 2
+    assert ticket_top.ready and ticket_score.ready
+    assert ticket_top.value == service.top_k_alignments([uri], k=3)[0]
+    assert ticket_score.value == entity_matrix[0, 1]
+
+
+def test_microbatching_auto_flushes_at_max_batch(fitted_pipeline):
+    service = AlignmentService.from_pipeline(fitted_pipeline, max_batch=2)
+    t1 = service.enqueue_top_k(fitted_pipeline.kg1.entities[0], k=2)
+    assert not t1.ready
+    t2 = service.enqueue_top_k(fitted_pipeline.kg1.entities[1], k=2)
+    assert t1.ready and t2.ready  # second enqueue crossed the batch threshold
+
+
+def test_bad_query_fails_only_its_own_ticket(fitted_pipeline):
+    service = AlignmentService.from_pipeline(fitted_pipeline, max_batch=100)
+    good = service.enqueue_top_k(fitted_pipeline.kg1.entities[0], k=2)
+    bad = service.enqueue_top_k("no-such-entity", k=2)
+    also_good = service.enqueue_score(
+        fitted_pipeline.kg1.entities[1], fitted_pipeline.kg2.entities[1]
+    )
+    service.flush()
+    assert good.ready and bad.ready and also_good.ready
+    assert good.result() == service.top_k_alignments([fitted_pipeline.kg1.entities[0]], k=2)[0]
+    assert np.isfinite(also_good.result())
+    with pytest.raises(ServingError, match="unknown KG1 entity"):
+        bad.result()
+
+
+def test_in_memory_tokens_are_unique_per_snapshot(fitted_pipeline):
+    a = AlignmentService.from_pipeline(fitted_pipeline)
+    b = AlignmentService.from_pipeline(fitted_pipeline)
+    assert a.state_token != b.state_token  # same pipeline, distinct snapshots
+
+
+def test_ticket_result_flushes_lazily(fitted_pipeline):
+    service = AlignmentService.from_pipeline(fitted_pipeline, max_batch=100)
+    ticket = service.enqueue_top_k(fitted_pipeline.kg1.entities[2], k=2)
+    value = ticket.result()
+    assert ticket.ready
+    assert value == service.top_k_alignments([fitted_pipeline.kg1.entities[2]], k=2)[0]
+
+
+# ------------------------------------------------------------------- hot swap
+def test_hot_swap_from_checkpoint(fitted_pipeline, tmp_path):
+    service = AlignmentService.from_pipeline(fitted_pipeline)
+    token_before = service.state_token
+    fitted_pipeline.save(tmp_path / "snap")
+    token_after = service.hot_swap(tmp_path / "snap")
+    assert token_after == service.state_token != token_before
+    assert token_after.startswith("ckpt-")
+    assert service.stats.swaps == 1
+    # the swapped state serves the same frozen matrices
+    uri = fitted_pipeline.kg1.entities[0]
+    matrix = fitted_pipeline.model.entity_similarity_matrix()
+    assert service.top_k_alignments([uri], k=1)[0][0][1] == matrix[0].max()
+
+
+# -------------------------------------------------------------------- fold-in
+def _clone_triples(kg, victim: int, new_name: str, limit: int = 6):
+    triples = [
+        (new_name, kg.relations[r], kg.entities[t]) for r, t in kg.out_edges(victim)[:limit]
+    ]
+    triples += [
+        (kg.entities[h], kg.relations[r], new_name) for r, h in kg.in_edges(victim)[:limit]
+    ]
+    return triples
+
+
+def test_fold_in_appends_column_and_scores_like_clone(fitted_pipeline, entity_matrix):
+    service = AlignmentService.from_pipeline(fitted_pipeline)
+    kg2 = fitted_pipeline.kg2
+    victim = max(range(kg2.num_entities), key=kg2.entity_degree)
+    token_before = service.state_token
+    n_before = service.num_entities(2)
+    report = service.fold_in("folded:new", _clone_triples(kg2, victim, "folded:new"))
+    assert service.num_entities(2) == n_before + 1
+    assert report.index == n_before
+    assert service.state_token != token_before
+    assert service.stats.folds == 1
+    # the clone of the best-matched entity should itself score well for the
+    # same KG1 partner (embedding channel only, so not identical)
+    partner = int(np.argmax(entity_matrix[:, victim]))
+    partner_name = fitted_pipeline.kg1.entities[partner]
+    clone_score = service.score_pairs([(partner_name, "folded:new")])[0]
+    assert clone_score > 0.25
+    # existing entities are untouched
+    assert service.score_pairs([(partner_name, kg2.entities[victim])])[0] == (
+        entity_matrix[partner, victim]
+    )
+
+
+def test_fold_in_side_1_appends_row(fitted_pipeline):
+    service = AlignmentService.from_pipeline(fitted_pipeline)
+    kg1 = fitted_pipeline.kg1
+    victim = max(range(kg1.num_entities), key=kg1.entity_degree)
+    service.fold_in("folded:left", _clone_triples(kg1, victim, "folded:left"), side=1)
+    ranked = service.top_k_alignments(["folded:left"], k=3)[0]
+    assert len(ranked) == 3
+    assert all(np.isfinite(score) for _, score in ranked)
+
+
+def test_fold_in_cache_isolation(fitted_pipeline):
+    # results cached before a fold-in must not be served for the new state
+    service = AlignmentService.from_pipeline(fitted_pipeline)
+    kg2 = fitted_pipeline.kg2
+    uri = fitted_pipeline.kg1.entities[0]
+    service.top_k_alignments([uri], k=2)
+    victim = max(range(kg2.num_entities), key=kg2.entity_degree)
+    service.fold_in("folded:iso", _clone_triples(kg2, victim, "folded:iso"))
+    hits_before = service.stats.cache_hits
+    service.top_k_alignments([uri], k=2)
+    assert service.stats.cache_hits == hits_before  # token changed → cache miss
+
+
+def test_fold_in_rejects_bad_input(fitted_pipeline):
+    service = AlignmentService.from_pipeline(fitted_pipeline)
+    kg2 = fitted_pipeline.kg2
+    existing = kg2.entities[0]
+    with pytest.raises(ServingError, match="at least one triple"):
+        service.fold_in("x", [])
+    with pytest.raises(ServingError, match="already exists"):
+        service.fold_in(existing, [("a", kg2.relations[0], existing)])
+    with pytest.raises(ServingError, match="unknown side-2 relation"):
+        service.fold_in("x", [("x", "no-such-relation", existing)])
+    with pytest.raises(ServingError, match="must connect"):
+        service.fold_in("x", [("ghost", kg2.relations[0], "phantom")])

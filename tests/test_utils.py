@@ -21,7 +21,7 @@ from repro.utils import (
     top_k_indices,
 )
 from repro.utils.math import reciprocal_rank
-from repro.utils.rng import spawn
+from repro.utils.rng import get_rng_state, set_rng_state, spawn
 
 
 class TestMath:
@@ -129,6 +129,35 @@ class TestRng:
         b = spawn(ensure_rng(3), 2)
         assert a[0].integers(0, 1000) == b[0].integers(0, 1000)
         assert a[1].integers(0, 1000) == b[1].integers(0, 1000)
+
+    def test_get_set_rng_state_resumes_stream(self):
+        rng = ensure_rng(11)
+        rng.random(17)  # advance past the seed position
+        state = get_rng_state(rng)
+        expected = rng.random(5)
+        other = ensure_rng(999)
+        set_rng_state(other, state)
+        np.testing.assert_array_equal(other.random(5), expected)
+
+    def test_rng_state_is_json_serialisable(self):
+        import json
+
+        rng = ensure_rng(4)
+        rng.integers(0, 10, size=3)
+        state = get_rng_state(rng)
+        restored_state = json.loads(json.dumps(state))
+        other = ensure_rng(None)
+        set_rng_state(other, restored_state)
+        np.testing.assert_array_equal(other.random(3), rng.random(3))
+
+    def test_get_rng_state_is_a_snapshot(self):
+        rng = ensure_rng(0)
+        state = get_rng_state(rng)
+        rng.random(10)  # advancing must not mutate the captured snapshot
+        fresh = set_rng_state(ensure_rng(None), state)
+        np.testing.assert_array_equal(
+            fresh.random(3), set_rng_state(ensure_rng(None), state).random(3)
+        )
 
 
 class TestTimer:
