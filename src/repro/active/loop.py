@@ -19,7 +19,7 @@ from repro.active.oracle import Oracle
 from repro.active.pool import ElementPairPool, PoolConfig, build_pool
 from repro.active.strategies import SelectionState, SelectionStrategy
 from repro.alignment.calibration import AlignmentCalibrator, CalibrationConfig
-from repro.alignment.evaluation import AlignmentScores, evaluate_alignment
+from repro.alignment.evaluation import AlignmentScores, evaluate_alignment_from_engine
 from repro.alignment.trainer import JointAlignmentTrainer
 from repro.inference.alignment_graph import build_alignment_graph
 from repro.inference.pairs import ElementPair
@@ -104,11 +104,14 @@ class ActiveLearningLoop:
         return self._pool
 
     def _probability_lookup(self, pool: ElementPairPool) -> dict[ElementPair, float]:
-        """Calibrated probability per pool pair, via vectorized array gathers.
+        """Calibrated probability per pool pair, read through the engine.
 
-        Similarity matrices come from the model's SimilarityEngine (cached
-        between optimiser steps) and each kind's probabilities are read with
-        one fancy-indexing gather instead of a Python loop over pairs.
+        Similarities come from the model's SimilarityEngine (cached between
+        optimiser steps).  Probabilities are computed only for the pool's
+        pairs — row/column-sliced softmax on the dense backend (identical
+        values to the full probability matrix at a fraction of the work),
+        streamed tile softmax on the sharded backend (the full matrix never
+        exists).
         """
         engine = self.model.similarity
         lookup: dict[ElementPair, float] = {}
@@ -120,13 +123,16 @@ class ActiveLearningLoop:
         for kind, pairs in groups:
             if not pairs:
                 continue
-            matrix = self.calibrator.probability_matrix(engine.matrix(kind), kind)
-            if not matrix.size:
+            num_rows, num_cols = engine.shape(kind)
+            if num_rows == 0 or num_cols == 0:
                 lookup.update((pair, 0.0) for pair in pairs)
                 continue
             lefts = np.fromiter((p.left for p in pairs), dtype=np.int64, count=len(pairs))
             rights = np.fromiter((p.right for p in pairs), dtype=np.int64, count=len(pairs))
-            lookup.update(zip(pairs, matrix[lefts, rights].tolist()))
+            probabilities = self.calibrator.pair_probabilities_from_engine(
+                engine, kind, lefts, rights
+            )
+            lookup.update(zip(pairs, probabilities.tolist()))
         return lookup
 
     def _build_state(self) -> SelectionState:
@@ -172,11 +178,13 @@ class ActiveLearningLoop:
         """
         engine = self.model.similarity
         test_ids = self.pair.entity_match_ids(self.pair.test_entity_pairs)
-        entity = evaluate_alignment(engine.matrix(ElementKind.ENTITY), test_ids)
-        relation = evaluate_alignment(
-            engine.matrix(ElementKind.RELATION), self.pair.relation_match_ids()
+        entity = evaluate_alignment_from_engine(engine, ElementKind.ENTITY, test_ids)
+        relation = evaluate_alignment_from_engine(
+            engine, ElementKind.RELATION, self.pair.relation_match_ids()
         )
-        cls = evaluate_alignment(engine.matrix(ElementKind.CLASS), self.pair.class_match_ids())
+        cls = evaluate_alignment_from_engine(
+            engine, ElementKind.CLASS, self.pair.class_match_ids()
+        )
         return entity, relation, cls
 
     # ------------------------------------------------------------ persistence

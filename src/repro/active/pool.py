@@ -18,6 +18,7 @@ from repro.alignment.model import JointAlignmentModel
 from repro.inference.pairs import ElementPair, class_pair, entity_pair, relation_pair
 from repro.kg.elements import ElementKind
 from repro.kg.graph import KnowledgeGraph
+from repro.runtime.streaming import mutual_top_n
 from repro.utils.math import cosine_similarity_matrix, top_k_rows
 
 
@@ -125,17 +126,21 @@ def schema_signatures(
 
 
 def build_pool(model: JointAlignmentModel, config: PoolConfig | None = None) -> ElementPairPool:
-    """Build the element pair pool from the current joint alignment model."""
+    """Build the element pair pool from the current joint alignment model.
+
+    Schema-evidence weights (Eq. 25) are per-row / per-column similarity
+    maxima read through the engine, and the mutual top-N entity filter runs
+    on the schema signatures: dense boolean masks on the dense backend
+    (historical, bit-exact path), two streamed top-N passes plus a
+    ``searchsorted`` membership check on the sharded backend — so pool
+    construction never materialises an ``N × M`` array there either.
+    """
     config = config or PoolConfig()
     kg1, kg2 = model.kg1, model.kg2
     engine = model.similarity
     snap = engine.snapshot
-    relation_similarity = engine.matrix(ElementKind.RELATION)
-    class_similarity = engine.matrix(ElementKind.CLASS)
-    rel_weights_1 = relation_similarity.max(axis=1) if relation_similarity.size else np.zeros(kg1.num_relations)
-    rel_weights_2 = relation_similarity.max(axis=0) if relation_similarity.size else np.zeros(kg2.num_relations)
-    cls_weights_1 = class_similarity.max(axis=1) if class_similarity.size else np.zeros(kg1.num_classes)
-    cls_weights_2 = class_similarity.max(axis=0) if class_similarity.size else np.zeros(kg2.num_classes)
+    rel_weights_1, rel_weights_2 = engine.row_col_max(ElementKind.RELATION)
+    cls_weights_1, cls_weights_2 = engine.row_col_max(ElementKind.CLASS)
 
     signatures_1 = schema_signatures(
         kg1, rel_weights_1, cls_weights_1, snap.mean_relations_1, snap.mean_classes_1
@@ -143,19 +148,23 @@ def build_pool(model: JointAlignmentModel, config: PoolConfig | None = None) -> 
     signatures_2 = schema_signatures(
         kg2, rel_weights_2, cls_weights_2, snap.mean_relations_2, snap.mean_classes_2
     )
-    similarity = cosine_similarity_matrix(signatures_1, signatures_2)
-
-    # Mutual top-N filter, vectorized: a pair survives when each side ranks
-    # the other, i.e. both boolean membership masks are set.
-    top_for_left = top_k_rows(similarity, config.top_n)
-    top_for_right = top_k_rows(similarity.T, config.top_n)
-    in_left_top = np.zeros(similarity.shape, dtype=bool)
-    if top_for_left.size:
-        in_left_top[np.arange(kg1.num_entities)[:, None], top_for_left] = True
-    in_right_top = np.zeros(similarity.shape, dtype=bool)
-    if top_for_right.size:
-        in_right_top[top_for_right, np.arange(kg2.num_entities)[:, None]] = True
-    lefts, rights = np.nonzero(in_left_top & in_right_top)
+    if engine.backend_name == "dense":
+        similarity = cosine_similarity_matrix(signatures_1, signatures_2)
+        # Mutual top-N filter, vectorized: a pair survives when each side
+        # ranks the other, i.e. both boolean membership masks are set.
+        top_for_left = top_k_rows(similarity, config.top_n)
+        top_for_right = top_k_rows(similarity.T, config.top_n)
+        in_left_top = np.zeros(similarity.shape, dtype=bool)
+        if top_for_left.size:
+            in_left_top[np.arange(kg1.num_entities)[:, None], top_for_left] = True
+        in_right_top = np.zeros(similarity.shape, dtype=bool)
+        if top_for_right.size:
+            in_right_top[top_for_right, np.arange(kg2.num_entities)[:, None]] = True
+        lefts, rights = np.nonzero(in_left_top & in_right_top)
+    else:
+        lefts, rights = mutual_top_n(
+            signatures_1, signatures_2, config.top_n, engine.block_size, engine.workers
+        )
     entity_pairs = [entity_pair(int(a), int(b)) for a, b in zip(lefts, rights)]
 
     relation_pairs = (

@@ -17,11 +17,16 @@ from repro.alignment.mean_embeddings import (
     mean_class_embeddings,
     mean_relation_embeddings,
 )
-from repro.alignment.semi_supervised import mine_potential_matches, resolve_conflicts
+from repro.alignment.semi_supervised import (
+    mine_potential_matches,
+    mine_potential_matches_from_engine,
+    resolve_conflicts,
+)
 from repro.alignment.calibration import AlignmentCalibrator, CalibrationConfig
 from repro.alignment.evaluation import (
     AlignmentScores,
     evaluate_alignment,
+    evaluate_alignment_from_engine,
     f1_score,
     greedy_match,
     hits_at_k,
@@ -42,6 +47,7 @@ __all__ = [
     "JointAlignmentTrainer",
     "entity_weights",
     "evaluate_alignment",
+    "evaluate_alignment_from_engine",
     "f1_score",
     "greedy_match",
     "hits_at_k",
@@ -49,6 +55,7 @@ __all__ = [
     "mean_reciprocal_rank",
     "mean_relation_embeddings",
     "mine_potential_matches",
+    "mine_potential_matches_from_engine",
     "precision_recall_f1",
     "resolve_conflicts",
 ]

@@ -39,6 +39,7 @@ from repro.kg.elements import ElementKind
 from repro.kg.pair import AlignedKGPair
 from repro.nn.init import identity_with_noise
 from repro.nn.module import Module, Parameter
+from repro.utils.math import cosine_similarity_matrix
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -73,6 +74,8 @@ class JointAlignmentModel(Module):
         use_structural_channel: bool = True,
         propagation_hops: int = 3,
         propagation_alpha: float = 0.6,
+        similarity_backend: str | None = None,
+        similarity_workers: int | None = None,
         rng: RandomState = None,
     ) -> None:
         if model1.dim != model2.dim:
@@ -98,9 +101,12 @@ class JointAlignmentModel(Module):
         )
         self._landmarks = np.empty((0, 2), dtype=np.int64)
         self._structural_similarity: np.ndarray | None = None
+        self._structural_factors: tuple[np.ndarray, np.ndarray] | None = None
         self._snapshot_version = 0
         self._landmark_version = 0
-        self.similarity = SimilarityEngine(self)
+        self.similarity = SimilarityEngine(
+            self, backend=similarity_backend, workers=similarity_workers
+        )
 
         entity_dim = model1.dim
         relation_dim = model1.relation_matrix().shape[1] if self.kg1.num_relations else entity_dim
@@ -120,23 +126,32 @@ class JointAlignmentModel(Module):
         Called once per training round and before building similarity
         matrices; these quantities are treated as constants by the optimiser.
         The four matrix reads below are served by one cached forward per
-        model (``KGEmbeddingModel.outputs``), not four separate forwards.
+        model (``KGEmbeddingModel.outputs``, not four separate forwards).
+
+        On the dense backend the entity similarity computed here for the
+        dangling-entity weights seeds the engine's cache; on the sharded
+        backend the weights are instead *streamed* (per-row / per-column
+        maxima over cosine tiles), so no ``N × M`` matrix is materialised.
         """
         with no_grad():
             e1 = self.model1.entity_matrix()
             e2 = self.model2.entity_matrix()
             r1 = self.model1.relation_matrix()
             r2 = self.model2.relation_matrix()
-            mapped = e1 @ self.map_entity.data
-            embedding_channel = blocked_cosine_similarity(
-                mapped, e2, self.similarity.block_size
-            )
-            structural = self.structural_similarity_matrix()
-            if structural is not None:
-                sim = np.maximum(embedding_channel, structural)
+            if self.similarity.backend_name == "dense":
+                mapped = e1 @ self.map_entity.data
+                embedding_channel = blocked_cosine_similarity(
+                    mapped, e2, self.similarity.block_size
+                )
+                structural = self.structural_similarity_matrix()
+                if structural is not None:
+                    sim = np.maximum(embedding_channel, structural)
+                else:
+                    sim = embedding_channel
+                w1, w2 = entity_weights(sim)
             else:
-                sim = embedding_channel
-            w1, w2 = entity_weights(sim)
+                embedding_channel = sim = None
+                w1, w2 = self._streamed_entity_weights(e1, e2)
             mean_rel1 = mean_relation_embeddings(self.kg1, self.model1, e1, w1)
             mean_rel2 = mean_relation_embeddings(self.kg2, self.model2, e2, w2)
             mean_cls1 = mean_class_embeddings(self.kg1, e1, w1)
@@ -154,10 +169,62 @@ class JointAlignmentModel(Module):
             mean_classes_2=mean_cls2,
         )
         self._snapshot_version += 1
-        # The entity similarity just computed for the weights is exactly what
-        # entity_similarity_matrix() would rebuild — seed the engine instead.
-        self.similarity.seed_entity_cache(embedding_channel, sim)
+        if sim is not None:
+            # The entity similarity just computed for the weights is exactly
+            # what entity_similarity_matrix() would rebuild — seed the engine.
+            self.similarity.seed_entity_cache(embedding_channel, sim)
         return self._snapshot
+
+    def entity_channel_factors(
+        self, e1: np.ndarray, e2: np.ndarray
+    ) -> tuple[list, bool]:
+        """The entity similarity as cosine channel factors: ``(pairs, clip)``.
+
+        Single definition of how the combined entity similarity decomposes
+        into factored cosines — the mapped embedding channel plus (when the
+        structural channel is enabled) the propagation features, with
+        ``clip=True`` standing in for the all-zero structural matrix before
+        any landmarks exist.  Both the engine's channel cache
+        (:meth:`SimilarityEngine.channels`) and the streamed entity weights
+        below build from here, so the similarity every sharded query serves
+        and the similarity the dangling-entity weights are computed from can
+        never drift apart.
+        """
+        from repro.runtime.streaming import ChannelPair
+        from repro.utils.math import safe_l2_normalize
+
+        pairs = [
+            ChannelPair(safe_l2_normalize(e1 @ self.map_entity.data), safe_l2_normalize(e2))
+        ]
+        clip = False
+        factors = self.structural_factors()
+        if factors is not None:
+            p1, p2 = factors
+            if p1.shape[1] == 0:
+                clip = True
+            else:
+                pairs.append(ChannelPair.from_raw(p1, p2))
+        return pairs, clip
+
+    def _streamed_entity_weights(
+        self, e1: np.ndarray, e2: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dangling-entity weights from streamed tile maxima (Eq. 6).
+
+        Builds the entity channel factors locally (the engine's channel cache
+        keys on the snapshot version, which is mid-update here) and streams
+        per-row / per-column maxima; ``max`` is order-independent, so the
+        result matches the dense path exactly up to tile rounding.
+        """
+        from repro.runtime.streaming import CosineChannels, stream_row_col_max
+
+        if e1.shape[0] == 0 or e2.shape[0] == 0:
+            return np.zeros(e1.shape[0]), np.zeros(e2.shape[0])
+        pairs, clip = self.entity_channel_factors(e1, e2)
+        channels = CosineChannels(pairs, clip_at_zero=clip)
+        engine = self.similarity
+        w1, w2 = stream_row_col_max(channels, engine.block_size, engine.workers)
+        return np.clip(w1, 0.0, 1.0), np.clip(w2, 0.0, 1.0)
 
     @property
     def snapshot(self) -> AlignmentSnapshot:
@@ -235,14 +302,36 @@ class JointAlignmentModel(Module):
             return  # unchanged landmarks must not invalidate cached matrices
         self._landmarks = pairs
         self._structural_similarity = None
+        self._structural_factors = None
         self._landmark_version += 1
+
+    def structural_factors(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Propagated landmark features ``(p1, p2)`` (None if channel disabled).
+
+        The structural channel is the cosine of these factors, which is what
+        lets the sharded backend stream it tile by tile instead of holding
+        the full ``|E1| × |E2|`` propagation matrix.
+        """
+        if self._propagation is None:
+            return None
+        if self._structural_factors is None:
+            self._structural_factors = self._propagation.propagate(self._landmarks)
+        return self._structural_factors
 
     def structural_similarity_matrix(self) -> np.ndarray | None:
         """The propagation channel for the current landmarks (None if disabled)."""
         if self._propagation is None:
             return None
         if self._structural_similarity is None:
-            self._structural_similarity = self._propagation.similarity_matrix(self._landmarks)
+            p1, p2 = self.structural_factors()
+            if p1.shape[1] == 0:
+                # no landmarks: the channel is all zeros and never dominates
+                # the embedding channel before any labels exist
+                self._structural_similarity = np.zeros(
+                    (self.kg1.num_entities, self.kg2.num_entities)
+                )
+            else:
+                self._structural_similarity = cosine_similarity_matrix(p1, p2)
         return self._structural_similarity
 
     # ------------------------------------------------------ similarity matrices

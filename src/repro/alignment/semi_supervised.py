@@ -42,6 +42,32 @@ def resolve_conflicts(candidates: list[tuple[int, int, float]]) -> list[tuple[in
     return kept
 
 
+def _filter_and_resolve(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    exclude: set[tuple[int, int]] | None,
+    exclude_left: set[int] | None,
+    exclude_right: set[int] | None,
+    max_candidates: int | None,
+) -> list[PotentialMatch]:
+    """Shared tail of both miners: exclusion filters + conflict resolution."""
+    exclude = exclude or set()
+    exclude_left = exclude_left or set()
+    exclude_right = exclude_right or set()
+    candidates = [
+        (int(i), int(j), float(v))
+        for i, j, v in zip(rows, cols, values)
+        if (int(i), int(j)) not in exclude
+        and int(i) not in exclude_left
+        and int(j) not in exclude_right
+    ]
+    resolved = resolve_conflicts(candidates)
+    if max_candidates is not None:
+        resolved = resolved[:max_candidates]
+    return [PotentialMatch(left, right, score) for left, right, score in resolved]
+
+
 def mine_potential_matches(
     similarity_matrix: np.ndarray,
     threshold: float,
@@ -58,18 +84,45 @@ def mine_potential_matches(
     """
     if similarity_matrix.size == 0:
         return []
-    exclude = exclude or set()
-    exclude_left = exclude_left or set()
-    exclude_right = exclude_right or set()
     rows, cols = np.where(similarity_matrix >= threshold)
-    candidates = [
-        (int(i), int(j), float(similarity_matrix[i, j]))
-        for i, j in zip(rows, cols)
-        if (int(i), int(j)) not in exclude
-        and int(i) not in exclude_left
-        and int(j) not in exclude_right
-    ]
-    resolved = resolve_conflicts(candidates)
-    if max_candidates is not None:
-        resolved = resolved[:max_candidates]
-    return [PotentialMatch(left, right, score) for left, right, score in resolved]
+    values = similarity_matrix[rows, cols]
+    return _filter_and_resolve(
+        rows, cols, values, exclude, exclude_left, exclude_right, max_candidates
+    )
+
+
+def mine_potential_matches_from_engine(
+    engine,
+    kind,
+    threshold: float,
+    exclude: set[tuple[int, int]] | None = None,
+    exclude_left: set[int] | None = None,
+    exclude_right: set[int] | None = None,
+    max_candidates: int | None = None,
+) -> list[PotentialMatch]:
+    """Backend-agnostic mining: threshold scan over *streamed* similarity tiles.
+
+    Only the entries above ``τ`` are ever held in memory (the mined candidate
+    set), never the full matrix.  Candidates come from the shared
+    :func:`repro.runtime.streaming.collect_threshold_candidates` scan in
+    global row-major order — the same order ``np.where`` yields on a dense
+    matrix — and ``resolve_conflicts`` sorts stably, so the result is
+    identical to :func:`mine_potential_matches` on the materialised matrix,
+    ties included.
+    """
+    from repro.runtime.streaming import collect_threshold_candidates
+
+    num_rows, num_cols = engine.shape(kind)
+    if num_rows == 0 or num_cols == 0:
+        return []
+    if engine.backend_name == "dense":
+        # the cached matrix exists anyway: one np.where yields the candidates
+        # already row-major, skipping the per-tile scan and the lexsort
+        return mine_potential_matches(
+            engine.matrix(kind), threshold, exclude, exclude_left, exclude_right,
+            max_candidates,
+        )
+    rows, cols, values = collect_threshold_candidates(engine.stream_blocks(kind), threshold)
+    return _filter_and_resolve(
+        rows, cols, values, exclude, exclude_left, exclude_right, max_candidates
+    )

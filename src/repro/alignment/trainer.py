@@ -23,7 +23,10 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.alignment.model import JointAlignmentModel
-from repro.alignment.semi_supervised import PotentialMatch, mine_potential_matches
+from repro.alignment.semi_supervised import (
+    PotentialMatch,
+    mine_potential_matches_from_engine,
+)
 from repro.kg.elements import ElementKind
 from repro.kg.sampling import NegativeSampler, corrupt_match_pairs
 from repro.nn.optim import Adam
@@ -412,14 +415,20 @@ class JointAlignmentTrainer:
         self._hard_candidates = self.engine.top_k(ElementKind.ENTITY, pool)
 
     def _refresh_semi_supervision(self) -> None:
-        """Mine potential matches above ``τ`` for every element kind."""
+        """Mine potential matches above ``τ`` for every element kind.
+
+        Mining reads *streamed* similarity tiles through the engine, so it
+        works identically on the dense backend (tiles are cache slices) and
+        the sharded backend (tiles are computed on the fly, the full matrix
+        never exists).
+        """
         for kind in _KINDS:
-            sim = self.engine.matrix(kind)
             labelled = self.labels.labelled_pairs(kind)
             matched_left = {left for left, _ in self.labels.matches[kind]}
             matched_right = {right for _, right in self.labels.matches[kind]}
-            self._semi[kind] = mine_potential_matches(
-                sim,
+            self._semi[kind] = mine_potential_matches_from_engine(
+                self.engine,
+                kind,
                 threshold=self.config.semi_threshold,
                 exclude=labelled,
                 exclude_left=matched_left,

@@ -76,6 +76,12 @@ class DAAKGConfig:
     calibration: CalibrationConfig = CalibrationConfig()
     inference: InferencePowerConfig = InferencePowerConfig()
     pool: PoolConfig = PoolConfig()
+    # Similarity runtime: "dense" caches full N×M matrices, "sharded" streams
+    # cosine tiles with running top-k and never materialises N×M.  The
+    # REPRO_SIMILARITY_BACKEND / REPRO_SIMILARITY_WORKERS environment
+    # variables override these per process (see repro.runtime.backends).
+    similarity_backend: str = "dense"
+    similarity_workers: int = 1
     # Ablation switches (Table 5)
     use_class_embeddings: bool = True
     use_mean_embeddings: bool = True
@@ -88,6 +94,10 @@ class DAAKGConfig:
             raise ValueError("base_model must be one of transe, rotate, compgcn")
         if self.entity_dim <= 0 or self.class_dim <= 0:
             raise ValueError("embedding dimensions must be positive")
+        if self.similarity_backend.lower() not in ("dense", "sharded"):
+            raise ValueError("similarity_backend must be 'dense' or 'sharded'")
+        if self.similarity_workers < 1:
+            raise ValueError("similarity_workers must be >= 1")
 
     # -------------------------------------------------------- serialisation
     def to_dict(self) -> dict:

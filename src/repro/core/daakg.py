@@ -23,7 +23,11 @@ from repro.active.oracle import Oracle
 from repro.active.pool import ElementPairPool, build_pool
 from repro.active.strategies import SelectionStrategy, create_strategy
 from repro.alignment.calibration import AlignmentCalibrator
-from repro.alignment.evaluation import AlignmentScores, evaluate_alignment, greedy_match
+from repro.alignment.evaluation import (
+    AlignmentScores,
+    evaluate_alignment_from_engine,
+    greedy_match,
+)
 from repro.alignment.model import JointAlignmentModel
 from repro.alignment.trainer import JointAlignmentTrainer
 from repro.core.config import DAAKGConfig
@@ -138,6 +142,8 @@ class DAAKG:
             class_entity_maps=class_entity_maps,
             use_mean_embeddings=config.use_mean_embeddings,
             use_structural_channel=config.use_structural_channel,
+            similarity_backend=config.similarity_backend,
+            similarity_workers=config.similarity_workers,
             rng=self.rng,
         )
         alignment_config = replace(
@@ -186,27 +192,44 @@ class DAAKG:
 
     # ------------------------------------------------------------- evaluation
     def evaluate(self, test_only: bool = True) -> dict[str, AlignmentScores]:
-        """H@k / MRR / precision / recall / F1 for entity, relation and class alignment."""
+        """H@k / MRR / precision / recall / F1 for entity, relation and class alignment.
+
+        Metrics are read through the similarity engine: on the dense backend
+        this slices the cached matrices (bit-exact with the historical
+        full-matrix evaluation); on the sharded backend ranking statistics
+        are streamed from cosine tiles and only the gold-row slab is ever
+        gathered.
+        """
         entity_pairs = (
             self.pair.entity_match_ids(self.pair.test_entity_pairs)
             if test_only and self.pair.test_entity_pairs
             else self.pair.entity_match_ids()
         )
+        engine = self.model.similarity
         return {
-            "entity": evaluate_alignment(self.model.entity_similarity_matrix(), entity_pairs),
-            "relation": evaluate_alignment(
-                self.model.relation_similarity_matrix(), self.pair.relation_match_ids()
+            "entity": evaluate_alignment_from_engine(engine, ElementKind.ENTITY, entity_pairs),
+            "relation": evaluate_alignment_from_engine(
+                engine, ElementKind.RELATION, self.pair.relation_match_ids()
             ),
-            "class": evaluate_alignment(
-                self.model.class_similarity_matrix(), self.pair.class_match_ids()
+            "class": evaluate_alignment_from_engine(
+                engine, ElementKind.CLASS, self.pair.class_match_ids()
             ),
         }
 
     # -------------------------------------------------------------- prediction
     def predict_matches(self, kind: ElementKind, threshold: float = 0.5) -> list[tuple[str, str]]:
-        """One-to-one predicted matches above ``threshold``, as element names."""
-        matrix = self.model.similarity_matrix(kind)
-        matches = greedy_match(matrix, threshold=threshold)
+        """One-to-one predicted matches above ``threshold``, as element names.
+
+        On the sharded backend the candidates above ``threshold`` are
+        collected from streamed tiles and matched greedily without ever
+        materialising the full matrix.
+        """
+        engine = self.model.similarity
+        if engine.backend_name == "dense":
+            matrix = self.model.similarity_matrix(kind)
+            matches = greedy_match(matrix, threshold=threshold)
+        else:
+            matches = self._greedy_match_streamed(kind, threshold)
         if kind is ElementKind.ENTITY:
             left_names, right_names = self.kg1.entities, self.kg2.entities
         elif kind is ElementKind.RELATION:
@@ -214,6 +237,27 @@ class DAAKG:
         else:
             left_names, right_names = self.kg1.classes, self.kg2.classes
         return [(left_names[i], right_names[j]) for i, j in matches]
+
+    def _greedy_match_streamed(self, kind: ElementKind, threshold: float) -> list[tuple[int, int]]:
+        """Greedy one-to-one matching over streamed above-threshold candidates.
+
+        Same tie-sensitive greedy contract as mining: candidates come from
+        the shared row-major threshold scan and go through
+        ``resolve_conflicts`` (stable sort by descending score), so there is
+        exactly one implementation of each half.
+        """
+        from repro.alignment.semi_supervised import resolve_conflicts
+        from repro.runtime.streaming import stream_threshold_candidates
+
+        engine = self.model.similarity
+        num_rows, num_cols = engine.shape(kind)
+        if num_rows == 0 or num_cols == 0:
+            return []
+        rows, cols, values = stream_threshold_candidates(
+            engine.channels(kind), threshold, engine.block_size, engine.workers
+        )
+        resolved = resolve_conflicts(list(zip(rows.tolist(), cols.tolist(), values.tolist())))
+        return [(left, right) for left, right, _ in resolved]
 
     def match_probabilities(self, kind: ElementKind) -> np.ndarray:
         """Calibrated match probabilities (Eq. 12) for all pairs of one kind."""

@@ -14,7 +14,12 @@ Real OpenEA data can be used instead through
 where the :class:`~repro.kg.pair.AlignedKGPair` came from.
 """
 
-from repro.datasets.world import WorldConfig, WorldKG, generate_world
+from repro.datasets.world import (
+    WorldConfig,
+    WorldKG,
+    generate_world,
+    make_large_world_pair,
+)
 from repro.datasets.views import ViewConfig, derive_view, derive_aligned_pair
 from repro.datasets.benchmark import (
     BENCHMARK_CONFIGS,
@@ -33,5 +38,6 @@ __all__ = [
     "derive_aligned_pair",
     "derive_view",
     "generate_world",
+    "make_large_world_pair",
     "make_benchmark",
 ]

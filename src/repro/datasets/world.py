@@ -175,3 +175,65 @@ def generate_world(config: WorldConfig | None = None, seed: RandomState = None) 
         functional_relations=functional,
         entity_classes=entity_classes,
     )
+
+
+def make_large_world_pair(
+    num_entities: int,
+    num_relations: int = 20,
+    mean_out_degree: float = 4.0,
+    popularity_exponent: float = 1.0,
+    seed: int = 0,
+):
+    """A fully-aligned two-view world pair sized for scale benchmarks.
+
+    :func:`generate_world` models realistic schema structure but builds its
+    triples one Python object at a time, which caps it at a few thousand
+    entities.  This generator trades the class machinery away for fully
+    vectorised triple sampling (skewed entity popularity, uniform relations),
+    so pairs with tens of thousands of entities materialise in seconds — the
+    scenario class the sharded similarity backend exists for.  Both views
+    share the topology *sample* (each draws its own edges over the same
+    entity popularity law), every entity is gold-aligned to its counterpart,
+    and the two vocabularies share no lexical overlap.
+    """
+    from repro.kg.pair import AlignedKGPair, GoldAlignment
+    from repro.kg.elements import ElementKind
+
+    if num_entities <= 1:
+        raise ValueError("num_entities must be > 1")
+    rng = np.random.default_rng(seed)
+    popularity = 1.0 / np.arange(1, num_entities + 1) ** popularity_exponent
+    popularity = popularity / popularity.sum()
+    num_triples = int(num_entities * mean_out_degree)
+
+    def one_view(prefix: str) -> KnowledgeGraph:
+        entity_names = [f"{prefix}:e{i}" for i in range(num_entities)]
+        relation_names = [f"{prefix}:r{j}" for j in range(num_relations)]
+        heads = rng.choice(num_entities, size=num_triples, p=popularity)
+        tails = rng.choice(num_entities, size=num_triples, p=popularity)
+        rels = rng.integers(0, num_relations, size=num_triples)
+        keep = heads != tails
+        triples = [
+            Triple(entity_names[h], relation_names[r], entity_names[t])
+            for h, r, t in zip(heads[keep], rels[keep], tails[keep])
+        ]
+        return KnowledgeGraph(
+            name=prefix,
+            entities=entity_names,
+            relations=relation_names,
+            classes=[],
+            triples=triples,
+            type_triples=[],
+        )
+
+    kg1 = one_view("lw1")
+    kg2 = one_view("lw2")
+    matches = [(f"lw1:e{i}", f"lw2:e{i}") for i in range(num_entities)]
+    return AlignedKGPair(
+        name=f"large-world-{num_entities}",
+        kg1=kg1,
+        kg2=kg2,
+        entity_alignment=GoldAlignment(ElementKind.ENTITY, matches),
+        relation_alignment=GoldAlignment(ElementKind.RELATION, []),
+        class_alignment=GoldAlignment(ElementKind.CLASS, []),
+    )

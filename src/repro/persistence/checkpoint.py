@@ -223,10 +223,19 @@ def save_checkpoint(path: str | os.PathLike, daakg: "DAAKG", loop: "ActiveLearni
     if snapshot is not None:
         for name in _SNAPSHOT_FIELDS:
             arrays[f"snapshot/{name}"] = getattr(snapshot, name)
+    # Similarity-backend state: the backend kind plus any top-k tables that
+    # are valid for the current version token.  On restore (which is
+    # bit-exact) the tables seed the engine's cache — the sharded backend's
+    # expensive streamed top-k passes resume for free.
+    engine = daakg.model.similarity
+    if snapshot is not None:
+        for key, value in engine.export_top_k_arrays().items():
+            arrays[f"topk/{key}"] = value
 
     manifest: dict = {
         "format_version": FORMAT_VERSION,
         "kind": "daakg-checkpoint",
+        "similarity_backend": engine.backend_name,
         "config": config_to_dict(daakg.config),
         "fitted": daakg.is_fitted,
         "training_seconds": daakg.training_time.elapsed,
@@ -353,7 +362,15 @@ def restore_pipeline(checkpoint: Checkpoint) -> "DAAKG":
         )
     daakg.model._snapshot_version = int(manifest.get("snapshot_version", 0))
     daakg.model._landmark_version = int(manifest.get("landmark_version", 0))
-    daakg.model.similarity.invalidate()
+    engine = daakg.model.similarity
+    engine.invalidate()
+    # Re-seed saved top-k tables when the restored engine runs the same
+    # backend kind the checkpoint was written with (restoration is bit-exact,
+    # so the tables describe exactly the restored similarity state).
+    if manifest.get("similarity_backend") == engine.backend_name and manifest.get("has_snapshot"):
+        topk = checkpoint.section("topk")
+        if topk:
+            engine.seed_top_k_arrays(topk)
 
     daakg._fitted = bool(manifest.get("fitted", False))
     daakg.training_time.elapsed = float(manifest.get("training_seconds", 0.0))

@@ -1,0 +1,54 @@
+"""The similarity runtime: pluggable backends, streaming kernels, serving views.
+
+See :mod:`repro.runtime.backends` for the backend protocol (dense vs sharded),
+:mod:`repro.runtime.streaming` for the factored-cosine streaming kernels, and
+:mod:`repro.runtime.views` for the frozen serving views.
+"""
+
+from repro.runtime.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    DenseBackend,
+    ShardedBackend,
+    SimilarityBackend,
+    TopKTable,
+    create_backend,
+    resolve_backend_name,
+    resolve_workers,
+)
+from repro.runtime.streaming import (
+    ChannelPair,
+    CosineChannels,
+    canonical_topk,
+    collect_threshold_candidates,
+    mutual_top_n,
+    stream_row_col_max,
+    stream_row_max,
+    stream_threshold_candidates,
+    stream_topk,
+)
+from repro.runtime.views import DenseView, SimilarityView, StreamedView
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "ChannelPair",
+    "CosineChannels",
+    "DenseBackend",
+    "DenseView",
+    "ShardedBackend",
+    "SimilarityBackend",
+    "SimilarityView",
+    "StreamedView",
+    "TopKTable",
+    "canonical_topk",
+    "collect_threshold_candidates",
+    "create_backend",
+    "mutual_top_n",
+    "resolve_backend_name",
+    "resolve_workers",
+    "stream_row_col_max",
+    "stream_row_max",
+    "stream_threshold_candidates",
+    "stream_topk",
+]

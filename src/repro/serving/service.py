@@ -43,8 +43,9 @@ import numpy as np
 
 from repro.alignment.calibration import AlignmentCalibrator
 from repro.kg.elements import ElementKind
+from repro.runtime.views import SimilarityView
 from repro.utils.logging import get_logger
-from repro.utils.math import l2_normalize, top_k_rows
+from repro.utils.math import l2_normalize
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with core
     from repro.core.daakg import DAAKG
@@ -75,7 +76,7 @@ class ServingSnapshot:
     entity_index_2: dict[str, int]
     relation_index_1: dict[str, int]
     relation_index_2: dict[str, int]
-    similarity: dict[ElementKind, np.ndarray]
+    similarity: dict[ElementKind, SimilarityView]
     map_entity: np.ndarray
     entity_out_1: np.ndarray
     entity_out_2: np.ndarray
@@ -96,9 +97,11 @@ class ServingSnapshot:
         similarity = engine.export_state()
         snap = engine.snapshot
         if token is None:
-            token = f"mem-{next(_TOKEN_COUNTER)}-" + "-".join(
+            token = f"mem-{next(_TOKEN_COUNTER)}-{engine.backend_name}-" + "-".join(
                 str(v) for v in engine.state_token()
             )
+        else:
+            token = f"{token}-{engine.backend_name}"
         entity_out_1 = snap.entity_matrix_1.copy()
         entity_out_2 = snap.entity_matrix_2.copy()
         map_entity = model.map_entity.data.copy()
@@ -257,12 +260,12 @@ class AlignmentService:
             miss_rows.append(self._entity_id(state, 1, uri))
             miss_positions.append(position)
         if miss_rows:
-            matrix = state.similarity[ElementKind.ENTITY]
-            rows = matrix[np.asarray(miss_rows, dtype=np.int64)]
-            top = top_k_rows(rows, min(k, rows.shape[1]))
+            view = state.similarity[ElementKind.ENTITY]
+            top, values = view.top_k_for_rows(np.asarray(miss_rows, dtype=np.int64), k)
             for i, position in enumerate(miss_positions):
                 entry = [
-                    (state.entity_names_2[j], float(rows[i, j])) for j in top[i]
+                    (state.entity_names_2[int(j)], float(v))
+                    for j, v in zip(top[i], values[i])
                 ]
                 results[position] = entry
                 self._cache_put((state.token, "topk", uris[position], k), entry)
@@ -285,11 +288,11 @@ class AlignmentService:
             miss_rights.append(self._entity_id(state, 2, right))
             miss_positions.append(position)
         if miss_positions:
-            matrix = state.similarity[ElementKind.ENTITY]
-            values = matrix[
+            view = state.similarity[ElementKind.ENTITY]
+            values = view.gather(
                 np.asarray(miss_lefts, dtype=np.int64),
                 np.asarray(miss_rights, dtype=np.int64),
-            ]
+            )
             for i, position in enumerate(miss_positions):
                 scores[position] = values[i]
                 left, right = pairs[position]
@@ -300,10 +303,13 @@ class AlignmentService:
         """Calibrated match probabilities (Eq. 12) for entity URI pairs."""
         state = self._state
         self.stats.queries += len(pairs)
+        if not pairs:
+            return np.zeros(0, dtype=float)
         lefts = np.asarray([self._entity_id(state, 1, a) for a, _ in pairs], dtype=np.int64)
         rights = np.asarray([self._entity_id(state, 2, b) for _, b in pairs], dtype=np.int64)
-        return state.calibrator.pair_probabilities(
-            state.similarity[ElementKind.ENTITY], ElementKind.ENTITY, lefts, rights
+        view = state.similarity[ElementKind.ENTITY]
+        return state.calibrator.pair_probabilities_from_slabs(
+            view.rows(lefts), view.cols(rights), ElementKind.ENTITY, lefts, rights
         )
 
     # ----------------------------------------------------------- micro-batches
@@ -492,16 +498,20 @@ class AlignmentService:
     def _append_entity(
         state: ServingSnapshot, side: int, name: str, vector: np.ndarray
     ) -> ServingSnapshot:
-        """A new snapshot with ``vector`` appended on ``side`` (O(n·d) work)."""
+        """A new snapshot with ``vector`` appended on ``side`` (O(n·d) work).
+
+        The explicitly-computed similarity row/column (embedding channel
+        only — a cold entity has no structural evidence before the next full
+        training round) is appended through the view, so dense views grow
+        their matrix while streamed views collect it in a small tail shard.
+        """
         similarity = dict(state.similarity)
-        entity_sim = similarity[ElementKind.ENTITY]
+        entity_view = similarity[ElementKind.ENTITY]
         token = f"{state.token}+fold{state.fold_count + 1}"
         if side == 2:
             unit = l2_normalize(vector)
             column = state.norm_mapped_1 @ unit
-            similarity[ElementKind.ENTITY] = np.concatenate(
-                [entity_sim, column[:, None]], axis=1
-            )
+            similarity[ElementKind.ENTITY] = entity_view.append_col(column)
             index = dict(state.entity_index_2)
             index[name] = len(state.entity_names_2)
             return replace(
@@ -516,7 +526,7 @@ class AlignmentService:
             )
         mapped_unit = l2_normalize(vector @ state.map_entity)
         row = state.norm_out_2 @ mapped_unit
-        similarity[ElementKind.ENTITY] = np.concatenate([entity_sim, row[None, :]], axis=0)
+        similarity[ElementKind.ENTITY] = entity_view.append_row(row)
         index = dict(state.entity_index_1)
         index[name] = len(state.entity_names_1)
         return replace(

@@ -13,6 +13,23 @@ def l2_normalize(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return x / np.maximum(norm, _EPS)
 
 
+def safe_l2_normalize(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Unit-normalise ``x`` along ``axis``; zero-norm rows become exact zeros.
+
+    Unlike :func:`l2_normalize` (which divides by ``max(norm, eps)``), rows
+    whose norm is below ``eps`` are never divided at all: the output row is
+    exactly ``0.0``, so a zero-norm embedding contributes exactly-zero cosine
+    similarity everywhere instead of an ``x / eps`` blow-up (or NaN when the
+    input itself is degenerate).  For rows with norm ≥ ``eps`` the result is
+    bit-identical to :func:`l2_normalize`.
+    """
+    x = np.asarray(x, dtype=float)
+    norm = np.linalg.norm(x, axis=axis, keepdims=True)
+    safe = np.maximum(norm, _EPS)
+    out = np.divide(x, safe, out=np.zeros_like(x), where=norm >= _EPS)
+    return out
+
+
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     """Cosine similarity of two vectors, defined as 0 for zero vectors."""
     na = np.linalg.norm(a)
@@ -25,10 +42,13 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
 def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Pairwise cosine similarities between rows of ``a`` and rows of ``b``.
 
-    Returns an ``(len(a), len(b))`` matrix.  Zero rows yield zero similarity.
+    Returns an ``(len(a), len(b))`` matrix.  Rows with norm below ``eps``
+    yield exactly-zero similarity (:func:`safe_l2_normalize`) — an ``x / eps``
+    blow-up on a degenerate row would otherwise leak garbage similarities
+    into top-k tables and calibration.
     """
-    a_n = l2_normalize(np.asarray(a, dtype=float))
-    b_n = l2_normalize(np.asarray(b, dtype=float))
+    a_n = safe_l2_normalize(np.asarray(a, dtype=float))
+    b_n = safe_l2_normalize(np.asarray(b, dtype=float))
     return a_n @ b_n.T
 
 

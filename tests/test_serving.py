@@ -19,20 +19,32 @@ def entity_matrix(fitted_pipeline):
     return fitted_pipeline.model.entity_similarity_matrix().copy()
 
 
+@pytest.fixture(scope="module")
+def value_tol(fitted_pipeline) -> float:
+    """Tolerance when comparing served values against the full matrix.
+
+    The dense backend serves slices of the very matrix being compared
+    against, so equality is exact.  The sharded backend recomputes each
+    served value from factored tiles, whose BLAS reductions can differ from
+    the materialised matrix in the last ulp.
+    """
+    return 0.0 if fitted_pipeline.model.similarity.backend_name == "dense" else 1e-12
+
+
 # ------------------------------------------------------------------- queries
-def test_top_k_matches_engine_matrix(service, fitted_pipeline, entity_matrix):
+def test_top_k_matches_engine_matrix(service, fitted_pipeline, entity_matrix, value_tol):
     uris = list(fitted_pipeline.kg1.entities[:4])
     results = service.top_k_alignments(uris, k=5)
     for uri, ranked in zip(uris, results):
         row = entity_matrix[fitted_pipeline.kg1.entity_id(uri)]
         assert len(ranked) == 5
-        assert ranked[0][1] == pytest.approx(row.max(), abs=0)
+        assert ranked[0][1] == pytest.approx(row.max(), abs=value_tol)
         scores = [score for _, score in ranked]
         assert scores == sorted(scores, reverse=True)
         assert all(name in fitted_pipeline.kg2.entity_index for name, _ in ranked)
 
 
-def test_score_pairs_matches_engine_matrix(service, fitted_pipeline, entity_matrix):
+def test_score_pairs_matches_engine_matrix(service, fitted_pipeline, entity_matrix, value_tol):
     pairs = [
         (fitted_pipeline.kg1.entities[i], fitted_pipeline.kg2.entities[j])
         for i, j in ((0, 0), (1, 3), (5, 2))
@@ -41,7 +53,7 @@ def test_score_pairs_matches_engine_matrix(service, fitted_pipeline, entity_matr
     for (left, right), score in zip(pairs, scores):
         i = fitted_pipeline.kg1.entity_id(left)
         j = fitted_pipeline.kg2.entity_id(right)
-        assert score == entity_matrix[i, j]
+        assert score == pytest.approx(entity_matrix[i, j], abs=value_tol)
 
 
 def test_pair_probabilities_match_full_matrix(service, fitted_pipeline, entity_matrix):
@@ -77,7 +89,7 @@ def test_cache_eviction_respects_capacity(fitted_pipeline):
 
 
 # ------------------------------------------------------------- micro-batching
-def test_microbatching_resolves_on_flush(fitted_pipeline, entity_matrix):
+def test_microbatching_resolves_on_flush(fitted_pipeline, entity_matrix, value_tol):
     service = AlignmentService.from_pipeline(fitted_pipeline, max_batch=100)
     uri = fitted_pipeline.kg1.entities[0]
     ticket_top = service.enqueue_top_k(uri, k=3)
@@ -87,7 +99,7 @@ def test_microbatching_resolves_on_flush(fitted_pipeline, entity_matrix):
     assert resolved == 2
     assert ticket_top.ready and ticket_score.ready
     assert ticket_top.value == service.top_k_alignments([uri], k=3)[0]
-    assert ticket_score.value == entity_matrix[0, 1]
+    assert ticket_score.value == pytest.approx(entity_matrix[0, 1], abs=value_tol)
 
 
 def test_microbatching_auto_flushes_at_max_batch(fitted_pipeline):
@@ -128,7 +140,7 @@ def test_ticket_result_flushes_lazily(fitted_pipeline):
 
 
 # ------------------------------------------------------------------- hot swap
-def test_hot_swap_from_checkpoint(fitted_pipeline, tmp_path):
+def test_hot_swap_from_checkpoint(fitted_pipeline, tmp_path, value_tol):
     service = AlignmentService.from_pipeline(fitted_pipeline)
     token_before = service.state_token
     fitted_pipeline.save(tmp_path / "snap")
@@ -139,7 +151,9 @@ def test_hot_swap_from_checkpoint(fitted_pipeline, tmp_path):
     # the swapped state serves the same frozen matrices
     uri = fitted_pipeline.kg1.entities[0]
     matrix = fitted_pipeline.model.entity_similarity_matrix()
-    assert service.top_k_alignments([uri], k=1)[0][0][1] == matrix[0].max()
+    assert service.top_k_alignments([uri], k=1)[0][0][1] == pytest.approx(
+        matrix[0].max(), abs=value_tol
+    )
 
 
 # -------------------------------------------------------------------- fold-in
@@ -153,7 +167,7 @@ def _clone_triples(kg, victim: int, new_name: str, limit: int = 6):
     return triples
 
 
-def test_fold_in_appends_column_and_scores_like_clone(fitted_pipeline, entity_matrix):
+def test_fold_in_appends_column_and_scores_like_clone(fitted_pipeline, entity_matrix, value_tol):
     service = AlignmentService.from_pipeline(fitted_pipeline)
     kg2 = fitted_pipeline.kg2
     victim = max(range(kg2.num_entities), key=kg2.entity_degree)
@@ -171,8 +185,8 @@ def test_fold_in_appends_column_and_scores_like_clone(fitted_pipeline, entity_ma
     clone_score = service.score_pairs([(partner_name, "folded:new")])[0]
     assert clone_score > 0.25
     # existing entities are untouched
-    assert service.score_pairs([(partner_name, kg2.entities[victim])])[0] == (
-        entity_matrix[partner, victim]
+    assert service.score_pairs([(partner_name, kg2.entities[victim])])[0] == pytest.approx(
+        entity_matrix[partner, victim], abs=value_tol
     )
 
 
