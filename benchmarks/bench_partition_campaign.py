@@ -1,0 +1,235 @@
+"""Partition-parallel campaign: wall-clock speedup and merged accuracy.
+
+The campaign runtime's claim is twofold:
+
+* cutting the pair into ρ-bounded partitions turns one quadratic campaign
+  into ``P`` much smaller ones, so total wall-clock drops even on a single
+  core (and drops further when the worker pool gets real cores);
+* the merged similarity state answers the same queries as a monolithic run
+  at (nearly) the same accuracy, and its results are **identical for any
+  worker count**.
+
+This benchmark pins both with numbers on a community-structured shared-
+topology world pair (the regime ρ-bounded partitioning exists for): one
+monolithic campaign (fit + active loop on the full pair) versus the
+partitioned campaign at workers 1 / 2 / 4, all on the sharded similarity
+runtime.
+
+Assertions:
+
+* ≥ 1.5× campaign speedup at 4 partitions / 4 workers over the monolithic
+  run,
+* merged entity H@1 within 0.02 of the monolithic H@1,
+* the deterministic result payload (scores, per-partition records, merged
+  top-k digest) is byte-identical between workers 2 and 4.
+
+The world never shrinks below ``MIN_ENTITIES``: below that the quadratic
+similarity work no longer dominates and the speedup crossover disappears,
+so a smoke-scaled run would measure thread overhead instead of the runtime.
+
+Writes ``BENCH_partition.json`` via the shared conftest harness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+import pytest
+
+from conftest import BENCH_SCALE, print_table, record_bench
+from repro import DAAKG, DAAKGConfig, PartitionConfig, PartitionedCampaign
+from repro.active.loop import ActiveLearningConfig
+from repro.active.pool import PoolConfig
+from repro.alignment.trainer import AlignmentTrainingConfig
+from repro.datasets import make_large_world_pair
+from repro.embedding.trainer import EmbeddingTrainingConfig
+from repro.kg.elements import ElementKind
+from repro.kg.pair import SplitRatios
+
+MIN_ENTITIES = 2400
+NUM_ENTITIES = max(MIN_ENTITIES, int(6000 * BENCH_SCALE))
+NUM_PARTITIONS = 4
+WORKER_SWEEP = (1, 2, 4)
+TOP_K = 10
+
+
+def world_pair():
+    pair = make_large_world_pair(
+        NUM_ENTITIES,
+        mean_out_degree=6.0,
+        seed=0,
+        shared_topology=True,
+        num_communities=NUM_PARTITIONS,
+        inter_community_fraction=0.05,
+    )
+    pair.split_entity_matches(SplitRatios(train=0.3, valid=0.1, test=0.6), seed=0)
+    return pair
+
+
+def campaign_config() -> DAAKGConfig:
+    return DAAKGConfig(
+        base_model="transe",
+        entity_dim=32,
+        class_dim=4,
+        pretrain=EmbeddingTrainingConfig(epochs=4),
+        alignment=AlignmentTrainingConfig(
+            rounds=3, epochs_per_round=12, num_negatives=8,
+            embedding_batches_per_round=3, embedding_batch_size=512,
+        ),
+        pool=PoolConfig(top_n=20),
+        similarity_backend="sharded",
+        seed=0,
+    )
+
+
+def loop_config() -> ActiveLearningConfig:
+    return ActiveLearningConfig(batch_size=30, num_batches=2, fine_tune_epochs=6)
+
+
+def partition_knobs(workers: int) -> PartitionConfig:
+    return PartitionConfig(
+        num_partitions=NUM_PARTITIONS,
+        workers=workers,
+        max_refine_passes=30,
+        balance_slack=0.6,
+    )
+
+
+def deterministic_payload(campaign: PartitionedCampaign) -> dict:
+    """Everything about a campaign run that must not depend on worker count.
+
+    Wall-clock and worker count are deliberately excluded; scores, record
+    sequences and a digest of the merged entity top-k table are all included.
+    """
+    merged = campaign.merged_state()
+    table = merged.top_k_table(ElementKind.ENTITY, TOP_K)
+    digest = hashlib.sha256()
+    for array in (
+        table.left_indices, table.left_values, table.right_indices, table.right_values
+    ):
+        digest.update(array.tobytes())
+    scores = campaign.evaluate()
+    return {
+        "scores": {kind: s.as_dict() for kind, s in scores.items()},
+        "records": [
+            [
+                [r.batch_index, r.labels_used, r.matches_labelled, r.entity_scores.as_dict()]
+                for r in campaign.loops[i].records
+            ]
+            for i in range(campaign.num_partitions)
+        ],
+        "merged_topk_sha256": digest.hexdigest(),
+    }
+
+
+@pytest.fixture(scope="module")
+def campaign_results():
+    results: dict = {}
+
+    start = time.perf_counter()
+    monolithic = DAAKG(world_pair(), campaign_config())
+    monolithic.fit()
+    monolithic.active_learning("uncertainty", loop_config()).run()
+    results["monolithic"] = {
+        "seconds": time.perf_counter() - start,
+        "h1": monolithic.evaluate()["entity"].hits_at_1,
+    }
+
+    results["partitioned"] = {}
+    for workers in WORKER_SWEEP:
+        start = time.perf_counter()
+        campaign = PartitionedCampaign(
+            world_pair(),
+            campaign_config(),
+            strategy="uncertainty",
+            active_config=loop_config(),
+            partition=partition_knobs(workers),
+            resolve_env=False,  # the sweep must not be overridden from outside
+        )
+        campaign.run()
+        seconds = time.perf_counter() - start
+        results["partitioned"][workers] = {
+            "seconds": seconds,
+            "payload": deterministic_payload(campaign),
+            "cut_weight_fraction": campaign.partition.cut_weight_fraction,
+            "piece_entities": [
+                piece.pair.kg1.num_entities for piece in campaign.partition.pieces
+            ],
+        }
+    return results
+
+
+def test_bench_partition_campaign(campaign_results):
+    mono = campaign_results["monolithic"]
+    sweep = campaign_results["partitioned"]
+    speedups = {w: mono["seconds"] / sweep[w]["seconds"] for w in WORKER_SWEEP}
+    merged_h1 = sweep[WORKER_SWEEP[-1]]["payload"]["scores"]["entity"]["H@1"]
+    h1_delta = merged_h1 - mono["h1"]
+
+    rows = [["monolithic", 1, f"{mono['seconds']:.2f}s", "1.00x", f"{mono['h1']:.4f}"]]
+    for workers in WORKER_SWEEP:
+        entry = sweep[workers]
+        h1 = entry["payload"]["scores"]["entity"]["H@1"]
+        rows.append(
+            [
+                f"partitioned x{NUM_PARTITIONS}",
+                workers,
+                f"{entry['seconds']:.2f}s",
+                f"{speedups[workers]:.2f}x",
+                f"{h1:.4f}",
+            ]
+        )
+    print_table(
+        f"Partition-parallel campaign ({NUM_ENTITIES} entities/side, "
+        f"{NUM_PARTITIONS} partitions)",
+        ["campaign", "workers", "wall", "speedup", "entity H@1"],
+        rows,
+    )
+
+    payload_bytes = {
+        w: json.dumps(sweep[w]["payload"], sort_keys=True).encode("utf-8")
+        for w in WORKER_SWEEP
+    }
+
+    record_bench(
+        "partition",
+        wall_time_seconds=mono["seconds"] + sum(sweep[w]["seconds"] for w in WORKER_SWEEP),
+        headline={
+            "speedup_workers_4_vs_monolithic": round(speedups[4], 2),
+            "speedup_workers_1_vs_monolithic": round(speedups[1], 2),
+            "h1_merged": round(merged_h1, 4),
+            "h1_monolithic": round(mono["h1"], 4),
+            "h1_delta": round(h1_delta, 4),
+            "workers_2_vs_4_identical": payload_bytes[2] == payload_bytes[4],
+        },
+        detail={
+            "num_entities": NUM_ENTITIES,
+            "num_partitions": NUM_PARTITIONS,
+            "cut_weight_fraction": round(sweep[4]["cut_weight_fraction"], 4),
+            "piece_entities": sweep[4]["piece_entities"],
+            "seconds": {
+                "monolithic": round(mono["seconds"], 2),
+                **{f"workers_{w}": round(sweep[w]["seconds"], 2) for w in WORKER_SWEEP},
+            },
+            "merged_topk_sha256": sweep[4]["payload"]["merged_topk_sha256"],
+        },
+    )
+
+    # the partitioned campaign must clearly beat the monolithic wall-clock
+    assert speedups[4] >= 1.5, (
+        f"partitioned campaign at 4 workers is only {speedups[4]:.2f}x faster "
+        "than the monolithic run (need >= 1.5x)"
+    )
+    # merging must not cost (or magically gain) accuracy
+    assert abs(h1_delta) <= 0.02, (
+        f"merged H@1 {merged_h1:.4f} deviates from monolithic {mono['h1']:.4f} "
+        f"by {h1_delta:+.4f} (budget 0.02)"
+    )
+    # worker count must never change results, byte for byte
+    assert payload_bytes[2] == payload_bytes[4], (
+        "campaign results differ between workers=2 and workers=4 — "
+        "the determinism contract is broken"
+    )
+    assert payload_bytes[1] == payload_bytes[2]

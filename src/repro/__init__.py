@@ -18,11 +18,12 @@ Public API highlights
 
 from repro.core import DAAKG, DAAKGConfig
 from repro.datasets import make_benchmark, available_benchmarks
-from repro.kg import AlignedKGPair, ElementKind, KnowledgeGraph
+from repro.active.campaign import PartitionedCampaign
+from repro.kg import AlignedKGPair, ElementKind, KnowledgeGraph, PartitionConfig
 from repro.persistence import load_checkpoint, save_checkpoint
 from repro.serving import AlignmentService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlignedKGPair",
@@ -31,6 +32,8 @@ __all__ = [
     "DAAKGConfig",
     "ElementKind",
     "KnowledgeGraph",
+    "PartitionConfig",
+    "PartitionedCampaign",
     "available_benchmarks",
     "load_checkpoint",
     "make_benchmark",

@@ -25,12 +25,22 @@ from repro.active.strategies import (
     create_strategy,
 )
 from repro.active.loop import ActiveLearningConfig, ActiveLearningLoop, ActiveLearningRecord
+from repro.active.campaign import (
+    CampaignResult,
+    PartitionRunResult,
+    PartitionedCampaign,
+    piece_seed,
+)
 
 __all__ = [
     "ActiveEAStrategy",
     "ActiveLearningConfig",
     "ActiveLearningLoop",
     "ActiveLearningRecord",
+    "CampaignResult",
+    "PartitionRunResult",
+    "PartitionedCampaign",
+    "piece_seed",
     "DAAKGStrategy",
     "DegreeStrategy",
     "ElementPairPool",

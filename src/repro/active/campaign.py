@@ -1,0 +1,364 @@
+"""Partition-parallel alignment campaigns.
+
+A *campaign* is the full DAAKG lifecycle for one aligned KG pair: embedding
+pre-training, joint alignment training, and the batch active-learning loop.
+The monolithic pipeline runs all of it single-process over the entire pair;
+:class:`PartitionedCampaign` instead cuts the pair into ρ-bounded
+cross-linked sub-pairs (:func:`repro.kg.partition.partition_pair`), runs one
+**independent** campaign per partition on a thread pool, and folds the
+per-partition similarity states into one global
+:class:`~repro.runtime.merge.MergedSimilarityState` that answers
+``top_k`` / ``evaluate`` / ``mine`` queries over the original index spaces
+without ever materialising the global matrix.
+
+Determinism contract (same as ``ShardedBackend``): results are identical for
+**any** worker count.  Each partition's pipeline draws from its own RNG
+(seeded by ``(campaign seed, partition index)``), shares no mutable state
+with its siblings (autograd grad-mode is thread-local, the global parameter
+version is lock-protected), and the merge folds pieces in partition order —
+so thread scheduling can change wall-clock, never results.  With a single
+partition the campaign *is* the monolithic pipeline, bit for bit: the piece
+is the original pair object and the seed is the configured seed.
+
+Configuration: ``DAAKGConfig.partition`` carries the knobs;
+``REPRO_PARTITION_COUNT`` / ``REPRO_PARTITION_WORKERS`` /
+``REPRO_PARTITION_RHO`` override them per process (environment wins), which
+is how CI sweeps partition/worker counts without touching configs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.active.loop import ActiveLearningConfig, ActiveLearningLoop, ActiveLearningRecord
+from repro.alignment.evaluation import AlignmentScores, evaluate_alignment_from_engine
+from repro.alignment.similarity import DEFAULT_BLOCK_SIZE
+from repro.kg.elements import ElementKind
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pair import AlignedKGPair
+from repro.kg.partition import (
+    KGPairPartition,
+    PartitionConfig,
+    partition_pair,
+    resolve_partition_config,
+)
+from repro.runtime.merge import MergedSimilarityState
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with core
+    from repro.core.config import DAAKGConfig
+    from repro.core.daakg import DAAKG
+
+logger = get_logger(__name__)
+
+_KINDS = (ElementKind.ENTITY, ElementKind.RELATION, ElementKind.CLASS)
+
+# Multiplier separating per-partition seed streams.  Any fixed odd constant
+# works; what matters is that the derivation depends only on (campaign seed,
+# partition index), never on scheduling.
+_SEED_STRIDE = 1_000_003
+
+
+def piece_seed(base_seed: int, index: int, num_partitions: int) -> int:
+    """The seed of partition ``index``'s pipeline.
+
+    A single-partition campaign uses the campaign seed itself so it is
+    bit-exact with the monolithic pipeline; multi-partition campaigns give
+    each piece its own deterministic stream.
+    """
+    if num_partitions == 1:
+        return base_seed
+    return (base_seed * _SEED_STRIDE + index + 1) % (2**31 - 1)
+
+
+@dataclass
+class PartitionRunResult:
+    """Outcome of one partition's campaign run."""
+
+    index: int
+    seconds: float
+    records: list[ActiveLearningRecord] = field(default_factory=list)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a full (possibly resumed) campaign run."""
+
+    partition_results: list[PartitionRunResult]
+    seconds: float
+
+    @property
+    def total_labels(self) -> int:
+        return sum(
+            r.records[-1].labels_used for r in self.partition_results if r.records
+        )
+
+
+def _augmented_kgs(
+    pair: AlignedKGPair, config: "DAAKGConfig"
+) -> tuple[KnowledgeGraph, KnowledgeGraph]:
+    """The working-space KGs a ``DAAKG`` built on ``pair`` would train over.
+
+    Delegates to :func:`repro.core.daakg.augment_working_kgs` — the same
+    function ``DAAKG._build_models`` uses — so the merge layer's global index
+    spaces can never drift from the pipelines' model vocabularies.  Original
+    element indices are preserved (augmentation only appends), so gold id
+    arrays computed on ``pair`` stay valid in the working space.
+    """
+    from repro.core.daakg import augment_working_kgs  # circular at module level
+
+    kg1, kg2, _ = augment_working_kgs(pair, config)
+    return kg1, kg2
+
+
+class PartitionedCampaign:
+    """Runs per-partition DAAKG campaigns in parallel and merges their states.
+
+    Parameters
+    ----------
+    pair:
+        The aligned KG pair (with its entity splits already drawn).
+    config:
+        The pipeline configuration shared by every partition; its
+        ``partition`` field supplies the partitioning knobs unless
+        ``partition`` is given explicitly.  Environment overrides
+        (``REPRO_PARTITION_*``) are applied on top either way.
+    strategy:
+        Registry name of the selection strategy (each partition gets its own
+        instance).
+    active_config:
+        Active-loop budget settings shared by every partition (defaults to
+        the pipeline config's pool/inference/calibration settings).
+    """
+
+    def __init__(
+        self,
+        pair: AlignedKGPair,
+        config: "DAAKGConfig | None" = None,
+        strategy: str = "daakg",
+        active_config: ActiveLearningConfig | None = None,
+        partition: PartitionConfig | None = None,
+        resolve_env: bool = True,
+    ) -> None:
+        from repro.core.config import DAAKGConfig  # circular at module level
+
+        self.dataset = pair
+        self.config = config or DAAKGConfig()
+        self.strategy = strategy
+        self.active_config = active_config
+        configured = partition if partition is not None else self.config.partition
+        # ``resolve_env=False`` is the campaign-restore path: a checkpoint's
+        # partitioning must never be resharded by this process's environment.
+        self.partition_config = (
+            resolve_partition_config(configured) if resolve_env else configured
+        )
+        self.partition: KGPairPartition = partition_pair(pair, self.partition_config)
+        n = self.partition.num_partitions
+        self.pipelines: list["DAAKG | None"] = [None] * n
+        self.loops: list[ActiveLearningLoop | None] = [None] * n
+        # merged-state cache, keyed on every piece engine's version token so
+        # training through ANY path (run(), or a piece's public pipeline()/
+        # loop() accessors) invalidates it
+        self._merged: tuple[tuple, MergedSimilarityState] | None = None
+
+    # ------------------------------------------------------------------ build
+    @property
+    def num_partitions(self) -> int:
+        return self.partition.num_partitions
+
+    def _piece_config(self, index: int) -> "DAAKGConfig":
+        # each piece runs a plain single-partition pipeline on its own seed
+        return replace(
+            self.config,
+            seed=piece_seed(self.config.seed, index, self.num_partitions),
+            partition=PartitionConfig(),
+        )
+
+    def pipeline(self, index: int) -> "DAAKG":
+        """The partition's pipeline, built on first use."""
+        if self.pipelines[index] is None:
+            from repro.core.daakg import DAAKG  # circular at module level
+
+            self.pipelines[index] = DAAKG(
+                self.partition.pieces[index].pair, self._piece_config(index)
+            )
+        return self.pipelines[index]
+
+    def loop(self, index: int) -> ActiveLearningLoop:
+        """The partition's active-learning loop, built on first use."""
+        if self.loops[index] is None:
+            self.loops[index] = self.pipeline(index).active_learning(
+                self.strategy, self.active_config
+            )
+        return self.loops[index]
+
+    # -------------------------------------------------------------------- run
+    def _run_piece(self, index: int, max_batches: int | None) -> PartitionRunResult:
+        start = time.perf_counter()
+        pipeline = self.pipeline(index)
+        if not pipeline.is_fitted:
+            pipeline.fit()
+        loop = self.loop(index)
+        loop.run(max_batches)
+        seconds = time.perf_counter() - start
+        logger.info(
+            "partition %d/%d done in %.2fs (%d records)",
+            index + 1,
+            self.num_partitions,
+            seconds,
+            len(loop.records),
+        )
+        return PartitionRunResult(index=index, seconds=seconds, records=list(loop.records))
+
+    def run(self, max_batches: int | None = None) -> CampaignResult:
+        """Fit + run the active loop of every partition (thread pool).
+
+        ``max_batches`` caps how many *new* batches each partition processes
+        this call (resume semantics identical to ``ActiveLearningLoop.run``).
+        Partitions are independent, so the result is the same for any
+        ``workers`` value; only wall-clock changes.
+        """
+        start = time.perf_counter()
+        workers = self.partition_config.workers
+        indices = list(range(self.num_partitions))
+        if workers <= 1 or self.num_partitions <= 1:
+            results = [self._run_piece(i, max_batches) for i in indices]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(
+                    pool.map(lambda i: self._run_piece(i, max_batches), indices)
+                )
+        return CampaignResult(
+            partition_results=results, seconds=time.perf_counter() - start
+        )
+
+    # ------------------------------------------------------------------ merge
+    def _working_index(self) -> dict[ElementKind, tuple[dict[str, int], dict[str, int]]]:
+        kg1, kg2 = _augmented_kgs(self.dataset, self.config)
+        return {
+            ElementKind.ENTITY: (kg1.entity_index, kg2.entity_index),
+            ElementKind.RELATION: (kg1.relation_index, kg2.relation_index),
+            ElementKind.CLASS: (kg1.class_index, kg2.class_index),
+        }
+
+    @staticmethod
+    def _ids(names: list[str], index: dict[str, int]) -> np.ndarray:
+        return np.array([index[name] for name in names], dtype=np.int64)
+
+    def _state_fingerprint(self) -> tuple:
+        """Every piece engine's version token — changes whenever any trains."""
+        return tuple(
+            self.pipeline(i).model.similarity.state_token()
+            for i in range(self.num_partitions)
+        )
+
+    def merged_state(self) -> MergedSimilarityState:
+        """Fold every partition's similarity state into one global state.
+
+        Per-piece channel factors are scattered into the original pair's
+        (working-space) index spaces; see :mod:`repro.runtime.merge` for the
+        semantics.  The merged state is cached against the pieces' engine
+        version tokens, so further training through *any* path (another
+        :meth:`run`, or a piece's ``pipeline()``/``loop()`` accessors)
+        rebuilds it instead of serving stale similarities.
+        """
+        fingerprint = self._state_fingerprint()
+        if self._merged is not None and self._merged[0] == fingerprint:
+            return self._merged[1]
+        working = self._working_index()
+        shapes = {
+            kind: (len(left), len(right)) for kind, (left, right) in working.items()
+        }
+        contributions: dict[ElementKind, list] = {kind: [] for kind in _KINDS}
+        block_size = DEFAULT_BLOCK_SIZE
+        for index in range(self.num_partitions):
+            pipeline = self.pipeline(index)
+            engine = pipeline.model.similarity
+            block_size = engine.block_size
+            model = pipeline.model
+            names = {
+                ElementKind.ENTITY: (model.kg1.entities, model.kg2.entities),
+                ElementKind.RELATION: (model.kg1.relations, model.kg2.relations),
+                ElementKind.CLASS: (model.kg1.classes, model.kg2.classes),
+            }
+            for kind in _KINDS:
+                left_index, right_index = working[kind]
+                left_names, right_names = names[kind]
+                contributions[kind].append(
+                    (
+                        engine.channels(kind),
+                        self._ids(left_names, left_index),
+                        self._ids(right_names, right_index),
+                    )
+                )
+        merged = MergedSimilarityState.from_contributions(
+            contributions,
+            shapes,
+            block_size=block_size,
+            workers=self.partition_config.workers,
+        )
+        # token read after building: channel construction may lazily refresh
+        # a piece snapshot, which bumps that piece's version
+        self._merged = (self._state_fingerprint(), merged)
+        return merged
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate(self, test_only: bool = True) -> dict[str, AlignmentScores]:
+        """Merged-state metrics over the *original* pair's gold matches.
+
+        Gold id arrays computed on the original pair stay valid in the
+        working space (augmentation only appends vocabulary), so this is
+        directly comparable to ``DAAKG.evaluate`` on a monolithic run.
+        """
+        merged = self.merged_state()
+        pair = self.dataset
+        entity_pairs = (
+            pair.entity_match_ids(pair.test_entity_pairs)
+            if test_only and pair.test_entity_pairs
+            else pair.entity_match_ids()
+        )
+        return {
+            "entity": evaluate_alignment_from_engine(merged, ElementKind.ENTITY, entity_pairs),
+            "relation": evaluate_alignment_from_engine(
+                merged, ElementKind.RELATION, pair.relation_match_ids()
+            ),
+            "class": evaluate_alignment_from_engine(
+                merged, ElementKind.CLASS, pair.class_match_ids()
+            ),
+        }
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str) -> None:
+        """Checkpoint the whole campaign (manifest + per-partition dirs)."""
+        from repro.persistence.campaign import save_campaign  # circular at module level
+
+        save_campaign(path, self)
+
+    @classmethod
+    def load(cls, path: str) -> "PartitionedCampaign":
+        """Restore a campaign saved by :meth:`save`; ``run()`` resumes it."""
+        from repro.persistence.campaign import load_campaign  # circular at module level
+
+        return load_campaign(path)
+
+    # ------------------------------------------------------------------ stats
+    def summary(self) -> dict:
+        """Partitioning statistics plus per-piece progress."""
+        return {
+            "partition": self.partition.summary(),
+            "strategy": self.strategy,
+            "workers": self.partition_config.workers,
+            "progress": [
+                {
+                    "index": i,
+                    "fitted": self.pipelines[i] is not None and self.pipelines[i].is_fitted,
+                    "batches_done": self.loops[i].batches_done if self.loops[i] else 0,
+                }
+                for i in range(self.num_partitions)
+            ],
+        }

@@ -98,6 +98,11 @@ class ActiveLearningLoop:
         self._next_batch = 0
 
     # ----------------------------------------------------------------- state
+    @property
+    def batches_done(self) -> int:
+        """Completed batches (the resume cursor) — public progress surface."""
+        return self._next_batch
+
     def pool(self) -> ElementPairPool:
         if self._pool is None or self.config.rebuild_pool_each_batch:
             self._pool = build_pool(self.model, self.config.pool)

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
-import numpy as np
 
 from repro.inference.pairs import ElementPair
 from repro.utils.logging import get_logger

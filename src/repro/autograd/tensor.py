@@ -13,30 +13,34 @@ test-suite checks every op against central finite differences.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Sequence, Union
+import threading
+from typing import Callable, Sequence, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
+# Grad mode is *thread-local*: the partition-parallel campaign runtime trains
+# independent models on a worker pool, and a ``no_grad`` block in one worker
+# must never switch off graph recording in another (a plain module global did
+# exactly that).  Single-threaded behaviour is unchanged.
+_grad_state = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph recording (like ``torch.no_grad``)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    previous = is_grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_state.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Whether operations currently record the autograd graph."""
-    return _grad_enabled
+    """Whether operations currently record the autograd graph (this thread)."""
+    return getattr(_grad_state, "enabled", True)
 
 
 def _scatter_add_rows(template: np.ndarray, indices: np.ndarray, grad: np.ndarray) -> np.ndarray:
@@ -95,7 +99,7 @@ class Tensor:
         name: str | None = None,
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
@@ -139,7 +143,7 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)

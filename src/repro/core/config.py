@@ -17,6 +17,7 @@ from repro.alignment.calibration import CalibrationConfig
 from repro.alignment.trainer import AlignmentTrainingConfig
 from repro.embedding.trainer import EmbeddingTrainingConfig
 from repro.inference.power import InferencePowerConfig
+from repro.kg.partition import PartitionConfig
 from repro.active.pool import PoolConfig
 
 C = TypeVar("C")
@@ -82,6 +83,12 @@ class DAAKGConfig:
     # variables override these per process (see repro.runtime.backends).
     similarity_backend: str = "dense"
     similarity_workers: int = 1
+    # Campaign partitioning: how PartitionedCampaign cuts the pair into
+    # rho-bounded cross-linked sub-pairs and how wide its worker pool is.
+    # The REPRO_PARTITION_COUNT / REPRO_PARTITION_WORKERS /
+    # REPRO_PARTITION_RHO environment variables override these per process
+    # (see repro.kg.partition); num_partitions=1 keeps the monolithic path.
+    partition: PartitionConfig = PartitionConfig()
     # Ablation switches (Table 5)
     use_class_embeddings: bool = True
     use_mean_embeddings: bool = True

@@ -70,6 +70,28 @@ def _classes_as_entities(kg: KnowledgeGraph) -> tuple[KnowledgeGraph, np.ndarray
     return new_kg, class_entity_map
 
 
+def augment_working_kgs(
+    pair: AlignedKGPair, config: DAAKGConfig
+) -> tuple[KnowledgeGraph, KnowledgeGraph, tuple[np.ndarray, np.ndarray] | None]:
+    """The working-space KGs a pipeline trains over, plus class-entity maps.
+
+    Single source of truth for the dataset→working-space augmentation
+    (inverse relations always; classes as pseudo-entities under the
+    "w/o class embeddings" ablation).  The partition-parallel campaign's
+    merge layer derives its global index spaces from this same function, so
+    the two can never drift apart.  Augmentation only appends vocabulary —
+    original element indices are preserved.
+    """
+    kg1 = pair.kg1.with_inverse_relations()
+    kg2 = pair.kg2.with_inverse_relations()
+    class_entity_maps = None
+    if not config.use_class_embeddings:
+        kg1, map1 = _classes_as_entities(kg1)
+        kg2, map2 = _classes_as_entities(kg2)
+        class_entity_maps = (map1, map2)
+    return kg1, kg2, class_entity_maps
+
+
 class DAAKG:
     """Deep active alignment of KG entities and schemata."""
 
@@ -85,13 +107,7 @@ class DAAKG:
     # ------------------------------------------------------------------ build
     def _build_models(self) -> None:
         config = self.config
-        kg1 = self.dataset.kg1.with_inverse_relations()
-        kg2 = self.dataset.kg2.with_inverse_relations()
-        class_entity_maps = None
-        if not config.use_class_embeddings:
-            kg1, map1 = _classes_as_entities(kg1)
-            kg2, map2 = _classes_as_entities(kg2)
-            class_entity_maps = (map1, map2)
+        kg1, kg2, class_entity_maps = augment_working_kgs(self.dataset, config)
         self.kg1 = kg1
         self.kg2 = kg2
         # the working pair shares gold alignments but uses the augmented KGs

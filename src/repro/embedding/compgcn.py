@@ -64,10 +64,22 @@ class CompGCN(KGEmbeddingModel):
             self.w_self = share_weights_with.w_self
             self.w_rel = share_weights_with.w_rel
         else:
-            self.w_in = [Linear(dim, dim, bias=False, rng=rng, name=f"w_in{l}") for l in range(num_layers)]
-            self.w_out = [Linear(dim, dim, bias=False, rng=rng, name=f"w_out{l}") for l in range(num_layers)]
-            self.w_self = [Linear(dim, dim, bias=False, rng=rng, name=f"w_self{l}") for l in range(num_layers)]
-            self.w_rel = [Linear(dim, dim, bias=False, rng=rng, name=f"w_rel{l}") for l in range(num_layers)]
+            self.w_in = [
+                Linear(dim, dim, bias=False, rng=rng, name=f"w_in{layer}")
+                for layer in range(num_layers)
+            ]
+            self.w_out = [
+                Linear(dim, dim, bias=False, rng=rng, name=f"w_out{layer}")
+                for layer in range(num_layers)
+            ]
+            self.w_self = [
+                Linear(dim, dim, bias=False, rng=rng, name=f"w_self{layer}")
+                for layer in range(num_layers)
+            ]
+            self.w_rel = [
+                Linear(dim, dim, bias=False, rng=rng, name=f"w_rel{layer}")
+                for layer in range(num_layers)
+            ]
 
         # Pre-computed edge index arrays (static for a given KG).
         edges = kg.triple_array

@@ -14,7 +14,7 @@ from repro.autograd.tensor import Tensor
 from repro.embedding.base import KGEmbeddingModel, TailSolution
 from repro.kg.graph import KnowledgeGraph
 from repro.nn.layers import Embedding
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState
 
 
 class TransE(KGEmbeddingModel):

@@ -19,7 +19,6 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.inference.pairs import ElementPair, class_pair, entity_pair, relation_pair
-from repro.kg.elements import ElementKind
 from repro.kg.graph import KnowledgeGraph
 
 

@@ -9,6 +9,16 @@ from repro.kg.elements import ElementKind, Triple, TypeTriple
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.pair import AlignedKGPair, GoldAlignment, SplitRatios
 from repro.kg.io import load_openea_directory, save_openea_directory
+from repro.kg.partition import (
+    KGPairPartition,
+    PartitionConfig,
+    PartitionPiece,
+    partition_pair,
+    resolve_partition_config,
+    resolve_partition_count,
+    resolve_partition_rho,
+    resolve_partition_workers,
+)
 from repro.kg.sampling import NegativeSampler
 from repro.kg.statistics import KGStatistics, compute_statistics, relation_functionality
 
@@ -16,14 +26,22 @@ __all__ = [
     "AlignedKGPair",
     "ElementKind",
     "GoldAlignment",
+    "KGPairPartition",
     "KGStatistics",
     "KnowledgeGraph",
     "NegativeSampler",
+    "PartitionConfig",
+    "PartitionPiece",
     "SplitRatios",
     "Triple",
     "TypeTriple",
     "compute_statistics",
     "load_openea_directory",
+    "partition_pair",
     "relation_functionality",
+    "resolve_partition_config",
+    "resolve_partition_count",
+    "resolve_partition_rho",
+    "resolve_partition_workers",
     "save_openea_directory",
 ]

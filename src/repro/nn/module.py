@@ -7,7 +7,6 @@ attributes, giving optimisers a single flat view of a model's state.
 
 from __future__ import annotations
 
-from typing import Iterator
 
 import numpy as np
 

@@ -7,6 +7,7 @@ optimiser is not specified beyond stochastic gradient descent).
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -16,7 +17,11 @@ from repro.nn.module import Parameter
 # Monotonic counter bumped whenever an optimiser mutates parameters.  Caches
 # of quantities derived from parameters (e.g. the SimilarityEngine's matrices)
 # key their entries on this value: unchanged counter ⇒ identical parameters.
+# The bump is lock-protected: the partition-parallel campaign runtime steps
+# several optimisers from a thread pool, and a lost increment (two mutations
+# sharing one version) would let a stale similarity cache be served as fresh.
 _parameter_version = 0
+_parameter_version_lock = threading.Lock()
 
 
 def parameter_version() -> int:
@@ -27,8 +32,9 @@ def parameter_version() -> int:
 def bump_parameter_version() -> int:
     """Invalidate parameter-derived caches; returns the new version."""
     global _parameter_version
-    _parameter_version += 1
-    return _parameter_version
+    with _parameter_version_lock:
+        _parameter_version += 1
+        return _parameter_version
 
 
 class Optimizer:

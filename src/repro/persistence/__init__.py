@@ -20,6 +20,11 @@ from repro.persistence.checkpoint import (
     restore_pipeline,
     save_checkpoint,
 )
+from repro.persistence.campaign import (
+    CAMPAIGN_MANIFEST_FILE,
+    load_campaign,
+    save_campaign,
+)
 from repro.persistence.codec import (
     kg_from_arrays,
     kg_to_arrays,
@@ -29,16 +34,19 @@ from repro.persistence.codec import (
 
 __all__ = [
     "ARRAYS_FILE",
+    "CAMPAIGN_MANIFEST_FILE",
     "Checkpoint",
     "CheckpointError",
     "FORMAT_VERSION",
     "MANIFEST_FILE",
     "kg_from_arrays",
     "kg_to_arrays",
+    "load_campaign",
     "load_checkpoint",
     "pair_from_arrays",
     "pair_to_arrays",
     "restore_loop",
     "restore_pipeline",
+    "save_campaign",
     "save_checkpoint",
 ]

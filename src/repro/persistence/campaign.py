@@ -1,0 +1,245 @@
+"""Campaign checkpoints: per-partition checkpoints under one manifest.
+
+A partition-parallel campaign checkpoint is a directory::
+
+    campaign.json          # manifest: config, partitioning, piece directory
+    dataset.npz            # the *original* aligned pair (encoded once)
+    partition_0000/        # a standard DAAKG checkpoint (arrays + manifest)
+    partition_0001/
+    ...
+
+Each partition directory is a plain :mod:`repro.persistence.checkpoint`
+checkpoint of that partition's pipeline (and its active-learning loop when
+one has started), so every bit-exactness guarantee of the single-pipeline
+format carries over piece by piece.  Pieces that have not started yet are
+recorded as ``"pending"`` in the manifest and rebuilt deterministically on
+resume (partitioning and per-piece seeds are pure functions of the saved
+dataset and configuration).
+
+``load_campaign`` restores the campaign with the partitioning **saved in the
+manifest** — environment overrides (``REPRO_PARTITION_COUNT`` …) are
+deliberately *not* re-applied, because resharding a half-finished campaign
+would silently orphan its per-partition checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import DAAKGConfig, config_from_dict, config_to_dict
+from repro.kg.partition import PartitionConfig
+from repro.persistence.checkpoint import (
+    CheckpointError,
+    _atomic_write_bytes,
+    _sha256,
+    load_checkpoint,
+    restore_loop,
+    restore_pipeline,
+    save_checkpoint,
+)
+from repro.persistence.codec import pair_from_arrays, pair_to_arrays
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with active
+    from repro.active.campaign import PartitionedCampaign
+
+logger = get_logger(__name__)
+
+CAMPAIGN_FORMAT_VERSION = 1
+CAMPAIGN_MANIFEST_FILE = "campaign.json"
+CAMPAIGN_DATASET_FILE = "dataset.npz"
+
+
+def _piece_dirname(index: int, generation: int) -> str:
+    return f"partition_{index:04d}_g{generation}"
+
+
+def _membership_digest(campaign: "PartitionedCampaign") -> str:
+    """SHA-256 over every piece's entity membership (both KG sides, in order).
+
+    Partitioning is recomputed on load (it is a pure function of the dataset
+    and partition config), so any future change to the partitioner's
+    assignment — even one preserving the piece *count* — must be caught, or
+    restored checkpoints would silently pair with the wrong sub-pairs.
+    """
+    digest = hashlib.sha256()
+    for piece in campaign.partition.pieces:
+        digest.update(b"\x00piece\x00")
+        for name in piece.pair.kg1.entities:
+            digest.update(name.encode("utf-8") + b"\x00")
+        digest.update(b"\x00side\x00")
+        for name in piece.pair.kg2.entities:
+            digest.update(name.encode("utf-8") + b"\x00")
+    return digest.hexdigest()
+
+
+def _read_manifest(directory: Path) -> dict | None:
+    manifest_path = directory / CAMPAIGN_MANIFEST_FILE
+    if not manifest_path.is_file():
+        return None
+    try:
+        return json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return None
+
+
+def save_campaign(path: str | os.PathLike, campaign: "PartitionedCampaign") -> Path:
+    """Write a campaign checkpoint (manifest + per-partition dirs) to ``path``.
+
+    Started pieces are checkpointed through the standard single-pipeline
+    format; unstarted pieces are marked pending.  Re-saves are crash-safe:
+    each save writes its piece checkpoints into a fresh *generation* of
+    directories, the manifest (written last, atomically) switches over, and
+    only then are the previous generation's directories removed — a crash at
+    any point leaves a manifest whose referenced directories are untouched.
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    previous = _read_manifest(directory)
+    generation = int(previous.get("generation", 0)) + 1 if previous else 0
+
+    arrays: dict[str, np.ndarray] = {}
+    pair_to_arrays(campaign.dataset, "dataset", arrays)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    _atomic_write_bytes(directory / CAMPAIGN_DATASET_FILE, payload)
+
+    pieces = []
+    for index in range(campaign.num_partitions):
+        pipeline = campaign.pipelines[index]
+        if pipeline is None:
+            pieces.append({"index": index, "status": "pending"})
+            continue
+        dirname = _piece_dirname(index, generation)
+        save_checkpoint(directory / dirname, pipeline, loop=campaign.loops[index])
+        pieces.append({"index": index, "status": "saved", "directory": dirname})
+
+    manifest = {
+        "generation": generation,
+        "membership_sha256": _membership_digest(campaign),
+        "format_version": CAMPAIGN_FORMAT_VERSION,
+        "kind": "campaign-checkpoint",
+        "config": config_to_dict(campaign.config),
+        "partition_config": config_to_dict(campaign.partition_config),
+        "active_config": (
+            config_to_dict(campaign.active_config)
+            if campaign.active_config is not None
+            else None
+        ),
+        "strategy": campaign.strategy,
+        "num_partitions": campaign.num_partitions,
+        "partition_summary": campaign.partition.summary(),
+        "pieces": pieces,
+        "dataset": {"file": CAMPAIGN_DATASET_FILE, "sha256": _sha256(payload)},
+    }
+    _atomic_write_bytes(
+        directory / CAMPAIGN_MANIFEST_FILE,
+        (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+    )
+    # the new manifest is durable: every partition directory it does not
+    # reference is garbage — including generations orphaned by a crash
+    # between an earlier manifest write and its cleanup
+    current = {p["directory"] for p in pieces if p.get("directory")}
+    for stale in directory.glob("partition_*"):
+        if stale.is_dir() and stale.name not in current:
+            shutil.rmtree(stale, ignore_errors=True)
+    logger.info(
+        "campaign checkpoint written to %s (%d pieces, %d saved, generation %d)",
+        directory,
+        len(pieces),
+        sum(1 for p in pieces if p["status"] == "saved"),
+        generation,
+    )
+    return directory
+
+
+def load_campaign(path: str | os.PathLike) -> "PartitionedCampaign":
+    """Restore a campaign written by :func:`save_campaign`.
+
+    The returned campaign's ``run()`` resumes every piece at its first
+    uncompleted batch; pending pieces start from scratch with their original
+    deterministic seeds.
+    """
+    from repro.active.campaign import PartitionedCampaign  # circular at module level
+
+    directory = Path(path)
+    manifest_path = directory / CAMPAIGN_MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no campaign manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt campaign manifest at {manifest_path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != CAMPAIGN_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported campaign format version {version!r} "
+            f"(this build reads {CAMPAIGN_FORMAT_VERSION})"
+        )
+
+    dataset_path = directory / manifest["dataset"]["file"]
+    payload = dataset_path.read_bytes()
+    expected = manifest["dataset"]["sha256"]
+    actual = _sha256(payload)
+    if expected != actual:
+        raise CheckpointError(
+            f"campaign dataset hash mismatch for {dataset_path}: "
+            f"manifest says {expected}, file is {actual}"
+        )
+    with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
+        arrays = {key: npz[key] for key in npz.files}
+    pair = pair_from_arrays("dataset", arrays)
+
+    from repro.active.loop import ActiveLearningConfig  # circular at module level
+
+    config = config_from_dict(DAAKGConfig, manifest["config"])
+    partition_config = config_from_dict(PartitionConfig, manifest["partition_config"])
+    active_config = (
+        config_from_dict(ActiveLearningConfig, manifest["active_config"])
+        if manifest.get("active_config") is not None
+        else None
+    )
+    campaign = PartitionedCampaign(
+        pair,
+        config,
+        strategy=manifest["strategy"],
+        active_config=active_config,
+        partition=partition_config,
+        resolve_env=False,
+    )
+    if campaign.num_partitions != int(manifest["num_partitions"]):
+        raise CheckpointError(
+            "campaign repartitioning mismatch: manifest says "
+            f"{manifest['num_partitions']} pieces, partitioner produced "
+            f"{campaign.num_partitions}"
+        )
+    saved_membership = manifest.get("membership_sha256")
+    if saved_membership is not None and saved_membership != _membership_digest(campaign):
+        raise CheckpointError(
+            "campaign partition membership mismatch: this build's partitioner "
+            "assigns entities differently than the one that wrote the "
+            "checkpoint, so the saved per-partition states cannot be safely "
+            "reattached"
+        )
+
+    for piece in manifest["pieces"]:
+        index = int(piece["index"])
+        if piece["status"] != "saved":
+            continue
+        checkpoint = load_checkpoint(directory / piece["directory"])
+        if checkpoint.has_loop:
+            loop = restore_loop(checkpoint)
+            campaign.loops[index] = loop
+            campaign.pipelines[index] = loop.daakg
+        else:
+            campaign.pipelines[index] = restore_pipeline(checkpoint)
+    return campaign

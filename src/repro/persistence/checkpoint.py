@@ -350,8 +350,8 @@ def restore_pipeline(checkpoint: Checkpoint) -> "DAAKG":
         mined_pairs = checkpoint.arrays[f"semi/{kind.value}/pairs"]
         mined_soft = checkpoint.arrays[f"semi/{kind.value}/soft"]
         trainer._semi[kind] = [
-            PotentialMatch(int(l), int(r), float(s))
-            for (l, r), s in zip(mined_pairs, mined_soft)
+            PotentialMatch(int(left), int(right), float(soft))
+            for (left, right), soft in zip(mined_pairs, mined_soft)
         ]
     trainer.loss_history = list(manifest.get("loss_history", []))
 

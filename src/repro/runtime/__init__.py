@@ -27,6 +27,7 @@ from repro.runtime.streaming import (
     stream_threshold_candidates,
     stream_topk,
 )
+from repro.runtime.merge import MergedSimilarityState, scatter_channels
 from repro.runtime.views import DenseView, SimilarityView, StreamedView
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "CosineChannels",
     "DenseBackend",
     "DenseView",
+    "MergedSimilarityState",
+    "scatter_channels",
     "ShardedBackend",
     "SimilarityBackend",
     "SimilarityView",

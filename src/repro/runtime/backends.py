@@ -199,26 +199,26 @@ class DenseBackend(SimilarityBackend):
         return DenseView(self.matrix(kind).copy())
 
 
-class ShardedBackend(SimilarityBackend):
-    """Streaming tiles + running top-k; never materialises N×M on query paths.
+class StreamedChannelQueries:
+    """Streamed query surface over factored cosine channels (shared mixin).
 
-    ``SimilarityEngine.matrix`` remains available as an explicitly-documented
-    escape hatch for legacy full-matrix consumers (it assembles the matrix by
-    streaming); none of the production query paths use it.
+    Everything is expressed through three accessors — ``_channels(kind)``,
+    ``_block``, ``_workers`` — so the sharded backend (live engine state) and
+    the campaign merge layer's frozen :class:`~repro.runtime.merge.
+    MergedSimilarityState` answer queries through the *same* code; a fix to
+    the streamed kernels' call sites lands in both automatically.
     """
 
-    name = "sharded"
-
     def _channels(self, kind: "ElementKind") -> CosineChannels:
-        return self.engine.channels(kind)
+        raise NotImplementedError
 
     @property
     def _block(self) -> int:
-        return self.engine.block_size
+        raise NotImplementedError
 
     @property
     def _workers(self) -> int:
-        return self.engine.workers
+        raise NotImplementedError
 
     def compute_full(self, kind) -> np.ndarray:
         channels = self._channels(kind)
@@ -275,6 +275,28 @@ class ShardedBackend(SimilarityBackend):
 
     def row_col_max(self, kind) -> tuple[np.ndarray, np.ndarray]:
         return stream_row_col_max(self._channels(kind), self._block, self._workers)
+
+
+class ShardedBackend(StreamedChannelQueries, SimilarityBackend):
+    """Streaming tiles + running top-k; never materialises N×M on query paths.
+
+    ``SimilarityEngine.matrix`` remains available as an explicitly-documented
+    escape hatch for legacy full-matrix consumers (it assembles the matrix by
+    streaming); none of the production query paths use it.
+    """
+
+    name = "sharded"
+
+    def _channels(self, kind: "ElementKind") -> CosineChannels:
+        return self.engine.channels(kind)
+
+    @property
+    def _block(self) -> int:
+        return self.engine.block_size
+
+    @property
+    def _workers(self) -> int:
+        return self.engine.workers
 
     def view(self, kind) -> SimilarityView:
         # channels hold freshly-normalised factor copies; StreamedView never

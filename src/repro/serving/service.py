@@ -48,6 +48,7 @@ from repro.utils.logging import get_logger
 from repro.utils.math import l2_normalize
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with core
+    from repro.active.campaign import PartitionedCampaign
     from repro.core.daakg import DAAKG
     from repro.embedding.base import KGEmbeddingModel
 
@@ -88,6 +89,10 @@ class ServingSnapshot:
     model_2: "KGEmbeddingModel"
     calibrator: AlignmentCalibrator
     fold_count: int = 0
+    # Merged campaign snapshots span several per-partition embedding spaces;
+    # there is no single frozen model a new entity could be optimised
+    # against, so fold-in is refused instead of silently computing garbage.
+    fold_in_supported: bool = True
 
     @classmethod
     def from_pipeline(cls, daakg: "DAAKG", token: str | None = None) -> "ServingSnapshot":
@@ -124,6 +129,50 @@ class ServingSnapshot:
             model_1=model.model1,
             model_2=model.model2,
             calibrator=AlignmentCalibrator(daakg.config.calibration),
+        )
+
+    @classmethod
+    def from_campaign(cls, campaign, token: str | None = None) -> "ServingSnapshot":
+        """Freeze a partition-parallel campaign's *merged* similarity state.
+
+        The snapshot serves ``top_k_alignments`` / ``score_pairs`` /
+        ``pair_probabilities`` from the merged streamed views over the
+        original pair's vocabularies.  Fold-in is not supported (each
+        partition trained its own embedding space; see
+        ``fold_in_supported``) — a hot-swap to a retrained campaign is the
+        way to absorb new entities.
+        """
+        from repro.active.campaign import _augmented_kgs  # circular at module level
+
+        merged = campaign.merged_state()
+        kg1, kg2 = _augmented_kgs(campaign.dataset, campaign.config)
+        if token is None:
+            token = (
+                f"mem-{next(_TOKEN_COUNTER)}-merged-{campaign.num_partitions}p"
+            )
+        else:
+            token = f"{token}-merged"
+        empty = np.empty((0, 0))
+        return cls(
+            token=token,
+            entity_names_1=tuple(kg1.entities),
+            entity_names_2=tuple(kg2.entities),
+            entity_index_1=dict(kg1.entity_index),
+            entity_index_2=dict(kg2.entity_index),
+            relation_index_1=dict(kg1.relation_index),
+            relation_index_2=dict(kg2.relation_index),
+            similarity=merged.export_state(),
+            map_entity=empty,
+            entity_out_1=empty,
+            entity_out_2=empty,
+            relation_out_1=empty,
+            relation_out_2=empty,
+            norm_mapped_1=empty,
+            norm_out_2=empty,
+            model_1=None,
+            model_2=None,
+            calibrator=AlignmentCalibrator(campaign.config.calibration),
+            fold_in_supported=False,
         )
 
 
@@ -203,6 +252,11 @@ class AlignmentService:
     def from_pipeline(cls, daakg: "DAAKG", **kwargs) -> "AlignmentService":
         """Serve directly from a fitted in-memory pipeline."""
         return cls(ServingSnapshot.from_pipeline(daakg), **kwargs)
+
+    @classmethod
+    def from_campaign(cls, campaign, **kwargs) -> "AlignmentService":
+        """Serve a partition-parallel campaign's merged similarity state."""
+        return cls(ServingSnapshot.from_campaign(campaign), **kwargs)
 
     @classmethod
     def from_checkpoint(cls, path: str | os.PathLike, **kwargs) -> "AlignmentService":
@@ -377,19 +431,23 @@ class AlignmentService:
             ticket.ready = True
 
     # -------------------------------------------------------------- hot swap
-    def hot_swap(self, source: "str | os.PathLike | DAAKG") -> str:
+    def hot_swap(self, source: "str | os.PathLike | DAAKG | PartitionedCampaign") -> str:
         """Atomically replace the serving state with a newer snapshot.
 
-        ``source`` is a checkpoint directory or a fitted pipeline.  The new
-        snapshot is fully built *before* the single reference assignment, so
-        concurrent readers observe either the old or the new state, never a
-        mixture; pending micro-batch tickets are flushed against the old
-        state first.  Returns the new state token.
+        ``source`` is a checkpoint directory, a fitted pipeline, or a
+        partition-parallel campaign (whose *merged* similarity state is
+        served).  The new snapshot is fully built *before* the single
+        reference assignment, so concurrent readers observe either the old
+        or the new state, never a mixture; pending micro-batch tickets are
+        flushed against the old state first.  Returns the new state token.
         """
+        from repro.active.campaign import PartitionedCampaign  # circular at module level
         from repro.core.daakg import DAAKG  # circular at module level
 
         self.flush()
-        if isinstance(source, DAAKG):
+        if isinstance(source, PartitionedCampaign):
+            state = ServingSnapshot.from_campaign(source)
+        elif isinstance(source, DAAKG):
             state = ServingSnapshot.from_pipeline(source)
         else:
             from repro.persistence import load_checkpoint, restore_pipeline
@@ -424,6 +482,12 @@ class AlignmentService:
         """
         if side not in (1, 2):
             raise ValueError("side must be 1 or 2")
+        if not self._state.fold_in_supported:
+            raise ServingError(
+                "fold-in is not supported on a merged campaign snapshot "
+                "(partitions train independent embedding spaces); hot-swap a "
+                "retrained campaign instead"
+            )
         if not triples:
             raise ServingError(f"fold-in of {name!r} needs at least one triple")
         start = time.perf_counter()

@@ -8,7 +8,7 @@ three into a ``Generator`` so experiments are reproducible end to end.
 from __future__ import annotations
 
 import copy
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

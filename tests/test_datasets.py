@@ -1,6 +1,5 @@
 """Tests for the synthetic benchmark dataset generators."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import (

@@ -187,7 +187,8 @@ class TestSelection:
     def test_greedy_select_batch_size_and_uniqueness(self):
         candidates = [entity_pair(i, i) for i in range(20)]
         probabilities = {pair: 0.5 for pair in candidates}
-        reach = lambda q: {entity_pair(q.left + 100, q.right + 100): 0.9}
+        def reach(q):
+            return {entity_pair(q.left + 100, q.right + 100): 0.9}
         batch = greedy_select(candidates, probabilities, reach,
                               GreedySelectionConfig(batch_size=5), rng=0)
         assert len(batch) == 5
