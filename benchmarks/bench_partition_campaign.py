@@ -1,31 +1,34 @@
-"""Partition-parallel campaign: wall-clock speedup and merged accuracy.
+"""Partition-parallel campaign: executor sweep, wall-clock speedup, parity.
 
-The campaign runtime's claim is twofold:
+The campaign runtime's claim is threefold:
 
 * cutting the pair into ρ-bounded partitions turns one quadratic campaign
-  into ``P`` much smaller ones, so total wall-clock drops even on a single
-  core (and drops further when the worker pool gets real cores);
-* the merged similarity state answers the same queries as a monolithic run
-  at (nearly) the same accuracy, and its results are **identical for any
-  worker count**.
+  into ``P`` much smaller ones, so total wall-clock drops even serially;
+* the **process executor** breaks the GIL: the training loops are pure-
+  numpy Python, so a thread pool cannot scale them (this benchmark is where
+  1 thread beating 4 was measured), while worker processes buy real cores;
+* results are **byte-identical** across every executor backend and worker
+  count — the backend may only ever change wall-clock.
 
-This benchmark pins both with numbers on a community-structured shared-
-topology world pair (the regime ρ-bounded partitioning exists for): one
-monolithic campaign (fit + active loop on the full pair) versus the
-partitioned campaign at workers 1 / 2 / 4, all on the sharded similarity
-runtime.
+This benchmark pins all three with numbers on a community-structured
+shared-topology world pair (the regime ρ-bounded partitioning exists for):
+one monolithic campaign versus the partitioned campaign across an executor
+sweep — serial, thread×4, process×2, process×4 — all on the sharded
+similarity runtime.
 
-Assertions:
+Assertions (always):
 
-* ≥ 1.5× campaign speedup at 4 partitions / 4 workers over the monolithic
+* the best partitioned configuration is ≥ 1.5× faster than the monolithic
   run,
 * merged entity H@1 within 0.02 of the monolithic H@1,
 * the deterministic result payload (scores, per-partition records, merged
-  top-k digest) is byte-identical between workers 2 and 4.
+  top-k digest) is byte-identical across **every** sweep entry.
 
-The world never shrinks below ``MIN_ENTITIES``: below that the quadratic
-similarity work no longer dominates and the speedup crossover disappears,
-so a smoke-scaled run would measure thread overhead instead of the runtime.
+Assertions (multi-core runners only, ``os.cpu_count() >= 4`` — CI enforces
+these; a single-core box cannot measure them honestly):
+
+* process×4 is ≥ 1.5× faster than the monolithic run,
+* process×4 beats the thread backend's wall-clock at the same width.
 
 Writes ``BENCH_partition.json`` via the shared conftest harness.
 """
@@ -34,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 
 import pytest
@@ -51,8 +55,14 @@ from repro.kg.pair import SplitRatios
 MIN_ENTITIES = 2400
 NUM_ENTITIES = max(MIN_ENTITIES, int(6000 * BENCH_SCALE))
 NUM_PARTITIONS = 4
-WORKER_SWEEP = (1, 2, 4)
+#: (executor, workers) sweep; every entry must produce identical bytes.
+EXECUTOR_SWEEP = (("serial", 1), ("thread", 4), ("process", 2), ("process", 4))
 TOP_K = 10
+MULTI_CORE = (os.cpu_count() or 1) >= 4
+
+
+def sweep_key(executor: str, workers: int) -> str:
+    return f"{executor}_{workers}"
 
 
 def world_pair():
@@ -88,20 +98,22 @@ def loop_config() -> ActiveLearningConfig:
     return ActiveLearningConfig(batch_size=30, num_batches=2, fine_tune_epochs=6)
 
 
-def partition_knobs(workers: int) -> PartitionConfig:
+def partition_knobs(executor: str, workers: int) -> PartitionConfig:
     return PartitionConfig(
         num_partitions=NUM_PARTITIONS,
         workers=workers,
+        executor=executor,
         max_refine_passes=30,
         balance_slack=0.6,
     )
 
 
 def deterministic_payload(campaign: PartitionedCampaign) -> dict:
-    """Everything about a campaign run that must not depend on worker count.
+    """Everything about a campaign run that must not depend on the executor.
 
-    Wall-clock and worker count are deliberately excluded; scores, record
-    sequences and a digest of the merged entity top-k table are all included.
+    Wall-clock, backend and worker count are deliberately excluded; scores,
+    record sequences and a digest of the merged entity top-k table are all
+    included.
     """
     merged = campaign.merged_state()
     table = merged.top_k_table(ElementKind.ENTITY, TOP_K)
@@ -138,19 +150,22 @@ def campaign_results():
     }
 
     results["partitioned"] = {}
-    for workers in WORKER_SWEEP:
+    for executor, workers in EXECUTOR_SWEEP:
         start = time.perf_counter()
         campaign = PartitionedCampaign(
             world_pair(),
             campaign_config(),
             strategy="uncertainty",
             active_config=loop_config(),
-            partition=partition_knobs(workers),
+            partition=partition_knobs(executor, workers),
             resolve_env=False,  # the sweep must not be overridden from outside
         )
-        campaign.run()
+        run_result = campaign.run()
+        assert run_result.executor == executor
         seconds = time.perf_counter() - start
-        results["partitioned"][workers] = {
+        results["partitioned"][sweep_key(executor, workers)] = {
+            "executor": executor,
+            "workers": workers,
             "seconds": seconds,
             "payload": deterministic_payload(campaign),
             "cut_weight_fraction": campaign.partition.cut_weight_fraction,
@@ -164,72 +179,92 @@ def campaign_results():
 def test_bench_partition_campaign(campaign_results):
     mono = campaign_results["monolithic"]
     sweep = campaign_results["partitioned"]
-    speedups = {w: mono["seconds"] / sweep[w]["seconds"] for w in WORKER_SWEEP}
-    merged_h1 = sweep[WORKER_SWEEP[-1]]["payload"]["scores"]["entity"]["H@1"]
+    keys = [sweep_key(executor, workers) for executor, workers in EXECUTOR_SWEEP]
+    speedups = {key: mono["seconds"] / sweep[key]["seconds"] for key in keys}
+    reference = sweep[sweep_key("process", 4)]
+    merged_h1 = reference["payload"]["scores"]["entity"]["H@1"]
     h1_delta = merged_h1 - mono["h1"]
 
-    rows = [["monolithic", 1, f"{mono['seconds']:.2f}s", "1.00x", f"{mono['h1']:.4f}"]]
-    for workers in WORKER_SWEEP:
-        entry = sweep[workers]
+    rows = [["monolithic", "-", 1, f"{mono['seconds']:.2f}s", "1.00x", f"{mono['h1']:.4f}"]]
+    for key in keys:
+        entry = sweep[key]
         h1 = entry["payload"]["scores"]["entity"]["H@1"]
         rows.append(
             [
                 f"partitioned x{NUM_PARTITIONS}",
-                workers,
+                entry["executor"],
+                entry["workers"],
                 f"{entry['seconds']:.2f}s",
-                f"{speedups[workers]:.2f}x",
+                f"{speedups[key]:.2f}x",
                 f"{h1:.4f}",
             ]
         )
     print_table(
         f"Partition-parallel campaign ({NUM_ENTITIES} entities/side, "
-        f"{NUM_PARTITIONS} partitions)",
-        ["campaign", "workers", "wall", "speedup", "entity H@1"],
+        f"{NUM_PARTITIONS} partitions, {os.cpu_count()} cores)",
+        ["campaign", "executor", "workers", "wall", "speedup", "entity H@1"],
         rows,
     )
 
     payload_bytes = {
-        w: json.dumps(sweep[w]["payload"], sort_keys=True).encode("utf-8")
-        for w in WORKER_SWEEP
+        key: json.dumps(sweep[key]["payload"], sort_keys=True).encode("utf-8")
+        for key in keys
     }
+    executors_identical = all(payload_bytes[key] == payload_bytes[keys[0]] for key in keys)
 
     record_bench(
         "partition",
-        wall_time_seconds=mono["seconds"] + sum(sweep[w]["seconds"] for w in WORKER_SWEEP),
+        wall_time_seconds=mono["seconds"] + sum(sweep[key]["seconds"] for key in keys),
         headline={
-            "speedup_workers_4_vs_monolithic": round(speedups[4], 2),
-            "speedup_workers_1_vs_monolithic": round(speedups[1], 2),
+            "speedup_serial_1_vs_monolithic": round(speedups["serial_1"], 2),
+            "speedup_thread_4_vs_monolithic": round(speedups["thread_4"], 2),
+            "speedup_process_4_vs_monolithic": round(speedups["process_4"], 2),
             "h1_merged": round(merged_h1, 4),
             "h1_monolithic": round(mono["h1"], 4),
             "h1_delta": round(h1_delta, 4),
-            "workers_2_vs_4_identical": payload_bytes[2] == payload_bytes[4],
+            "executors_identical": executors_identical,
         },
         detail={
             "num_entities": NUM_ENTITIES,
             "num_partitions": NUM_PARTITIONS,
-            "cut_weight_fraction": round(sweep[4]["cut_weight_fraction"], 4),
-            "piece_entities": sweep[4]["piece_entities"],
+            "cpu_count": os.cpu_count(),
+            "multi_core_assertions": MULTI_CORE,
+            "cut_weight_fraction": round(reference["cut_weight_fraction"], 4),
+            "piece_entities": reference["piece_entities"],
             "seconds": {
                 "monolithic": round(mono["seconds"], 2),
-                **{f"workers_{w}": round(sweep[w]["seconds"], 2) for w in WORKER_SWEEP},
+                **{key: round(sweep[key]["seconds"], 2) for key in keys},
             },
-            "merged_topk_sha256": sweep[4]["payload"]["merged_topk_sha256"],
+            "merged_topk_sha256": reference["payload"]["merged_topk_sha256"],
         },
     )
 
-    # the partitioned campaign must clearly beat the monolithic wall-clock
-    assert speedups[4] >= 1.5, (
-        f"partitioned campaign at 4 workers is only {speedups[4]:.2f}x faster "
-        "than the monolithic run (need >= 1.5x)"
+    # some partitioned configuration must clearly beat the monolithic
+    # wall-clock on any machine (serially on one core, via processes on many)
+    best = max(speedups.values())
+    assert best >= 1.5, (
+        f"best partitioned configuration is only {best:.2f}x faster than the "
+        "monolithic run (need >= 1.5x)"
     )
     # merging must not cost (or magically gain) accuracy
     assert abs(h1_delta) <= 0.02, (
         f"merged H@1 {merged_h1:.4f} deviates from monolithic {mono['h1']:.4f} "
         f"by {h1_delta:+.4f} (budget 0.02)"
     )
-    # worker count must never change results, byte for byte
-    assert payload_bytes[2] == payload_bytes[4], (
-        "campaign results differ between workers=2 and workers=4 — "
+    # the executor backend and worker count must never change results
+    assert executors_identical, (
+        "campaign results differ across executor backends — "
         "the determinism contract is broken"
     )
-    assert payload_bytes[1] == payload_bytes[2]
+    if MULTI_CORE:
+        # with real cores, the process backend must deliver the paper claim
+        # outright and beat the GIL-bound thread pool at the same width
+        assert speedups["process_4"] >= 1.5, (
+            f"process executor at 4 workers is only {speedups['process_4']:.2f}x "
+            "faster than the monolithic run on a multi-core machine (need >= 1.5x)"
+        )
+        assert sweep["process_4"]["seconds"] < sweep["thread_4"]["seconds"], (
+            f"process executor ({sweep['process_4']['seconds']:.2f}s) failed to "
+            f"beat the thread backend ({sweep['thread_4']['seconds']:.2f}s) at "
+            "4 workers on a multi-core machine"
+        )

@@ -16,10 +16,11 @@ compares them headline-by-headline against the committed baselines and fails
 Time-like headline metrics (``*_seconds``, ``*_mb``, latencies) are reported
 for context but only the benchmark's total wall time gates, keeping the wall
 strict on correctness and honest about machine-speed noise.  Artifacts whose
-``scale`` / ``datasets`` stamps differ from the baseline **fail** — the
-numbers would not be comparable, and silently skipping would let a PR dodge
-the wall by changing the benchmark's configuration; regenerate and commit
-the baseline instead.
+``scale`` / ``datasets`` / ``executor`` stamps differ from the baseline
+**fail** — the numbers would not be comparable, and silently skipping would
+let a PR dodge the wall by changing the benchmark's configuration;
+regenerate and commit the baseline instead.  (Baselines written before the
+``executor`` stamp existed are compared without it.)
 
 A markdown summary is always written (``--markdown -`` for stdout; CI
 appends it to ``$GITHUB_STEP_SUMMARY``).
@@ -88,6 +89,32 @@ def compare_artifact(name: str, baseline: dict, fresh: dict, args) -> tuple[list
         failures.append(
             f"{name}: benchmark scale/datasets differ from the committed baseline "
             "(regenerate and commit BENCH_*.json)"
+        )
+        return rows, failures
+
+    # wall-clock is only comparable between runs on the same campaign
+    # executor backend; tolerate baselines predating the stamp
+    base_executor = baseline.get("executor")
+    fresh_executor = fresh.get("executor")
+    if (
+        base_executor is not None
+        and fresh_executor is not None
+        and base_executor != fresh_executor
+    ):
+        rows.append(
+            [
+                name,
+                "(config)",
+                f"executor={base_executor}",
+                f"executor={fresh_executor}",
+                "",
+                "FAIL: executor changed — regenerate the baseline",
+            ]
+        )
+        failures.append(
+            f"{name}: campaign executor differs from the committed baseline "
+            f"({base_executor!r} vs {fresh_executor!r}); wall-clock is not "
+            "comparable — regenerate and commit BENCH_*.json"
         )
         return rows, failures
 

@@ -125,6 +125,9 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         entry["scale"] = BENCH_SCALE
         entry["datasets"] = BENCH_DATASETS
         entry["python"] = platform.python_version()
+        # which campaign executor the session ran under: wall-clock numbers
+        # are only comparable between artifacts produced on the same backend
+        entry["executor"] = os.environ.get("REPRO_CAMPAIGN_EXECUTOR") or "auto"
         path = os.path.join(_REPO_ROOT, f"BENCH_{name}.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(entry, handle, indent=2, sort_keys=True)

@@ -4,8 +4,9 @@ Walks the partition-parallel campaign lifecycle:
 
 1. cut an aligned KG pair into ρ-bounded cross-linked sub-pairs
    (``repro.kg.partition``),
-2. run one independent DAAKG campaign per partition on a worker pool
-   (``PartitionedCampaign.run`` — deterministic for any worker count),
+2. run one independent DAAKG campaign per partition on the GIL-breaking
+   **process executor** (``PartitionedCampaign.run`` — results are
+   byte-identical for any executor backend and any worker count),
 3. fold the per-partition similarity states into one merged, streamed state
    and evaluate it against the original gold matches,
 4. checkpoint the whole campaign (one manifest, one directory per
@@ -56,13 +57,19 @@ def main() -> None:
         config,
         strategy="uncertainty",
         active_config=ActiveLearningConfig(batch_size=10, num_batches=2, fine_tune_epochs=5),
-        partition=PartitionConfig(num_partitions=3, workers=2),
+        # executor="process" ships each piece to a worker process; "auto"
+        # would pick the same thing here whenever the machine has >1 core
+        partition=PartitionConfig(num_partitions=3, workers=2, executor="process"),
     )
     print("partitioning:", campaign.partition.summary())
+    print("executor:", campaign.executor_name)
 
-    # 2. Run every partition's campaign (fit + active loop) on the pool.
+    # 2. Run every partition's campaign (fit + active loop) on the executor.
     result = campaign.run(max_batches=1)
-    print(f"first round: {result.seconds:.2f}s across {campaign.num_partitions} partitions")
+    print(
+        f"first round: {result.seconds:.2f}s across {campaign.num_partitions} "
+        f"partitions on the {result.executor} executor"
+    )
 
     # 3. Checkpoint mid-campaign, resume, and finish the budget.
     checkpoint_dir = workdir / "campaign"

@@ -18,16 +18,17 @@ Public API highlights
 
 from repro.core import DAAKG, DAAKGConfig
 from repro.datasets import make_benchmark, available_benchmarks
-from repro.active.campaign import PartitionedCampaign
+from repro.active.campaign import CampaignExecutionError, PartitionedCampaign
 from repro.kg import AlignedKGPair, ElementKind, KnowledgeGraph, PartitionConfig
 from repro.persistence import load_checkpoint, save_checkpoint
 from repro.serving import AlignmentService
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlignedKGPair",
     "AlignmentService",
+    "CampaignExecutionError",
     "DAAKG",
     "DAAKGConfig",
     "ElementKind",

@@ -26,6 +26,7 @@ from repro.active.strategies import (
 )
 from repro.active.loop import ActiveLearningConfig, ActiveLearningLoop, ActiveLearningRecord
 from repro.active.campaign import (
+    CampaignExecutionError,
     CampaignResult,
     PartitionRunResult,
     PartitionedCampaign,
@@ -37,6 +38,7 @@ __all__ = [
     "ActiveLearningConfig",
     "ActiveLearningLoop",
     "ActiveLearningRecord",
+    "CampaignExecutionError",
     "CampaignResult",
     "PartitionRunResult",
     "PartitionedCampaign",

@@ -4,33 +4,45 @@ A *campaign* is the full DAAKG lifecycle for one aligned KG pair: embedding
 pre-training, joint alignment training, and the batch active-learning loop.
 The monolithic pipeline runs all of it single-process over the entire pair;
 :class:`PartitionedCampaign` instead cuts the pair into ρ-bounded
-cross-linked sub-pairs (:func:`repro.kg.partition.partition_pair`), runs one
-**independent** campaign per partition on a thread pool, and folds the
-per-partition similarity states into one global
-:class:`~repro.runtime.merge.MergedSimilarityState` that answers
-``top_k`` / ``evaluate`` / ``mine`` queries over the original index spaces
-without ever materialising the global matrix.
+cross-linked sub-pairs (:func:`repro.kg.partition.partition_pair`), hands
+one self-contained :class:`~repro.runtime.executor.PieceSpec` per partition
+to a :class:`~repro.runtime.executor.CampaignExecutor` (serial, thread or
+GIL-breaking process backend — all running the same
+:func:`~repro.runtime.executor.run_piece_spec`), folds each piece's result
+checkpoint back bit-exactly, and merges the per-partition similarity states
+into one global :class:`~repro.runtime.merge.MergedSimilarityState` that
+answers ``top_k`` / ``evaluate`` / ``mine`` queries over the original index
+spaces without ever materialising the global matrix.
 
-Determinism contract (same as ``ShardedBackend``): results are identical for
-**any** worker count.  Each partition's pipeline draws from its own RNG
-(seeded by ``(campaign seed, partition index)``), shares no mutable state
-with its siblings (autograd grad-mode is thread-local, the global parameter
-version is lock-protected), and the merge folds pieces in partition order —
-so thread scheduling can change wall-clock, never results.  With a single
+Determinism contract (same as ``ShardedBackend``): results are identical
+for **any** executor backend and **any** worker count.  Each partition's
+pipeline draws from its own RNG (seeded by ``(campaign seed, partition
+index)``), runs from a spec that shares no mutable state with its siblings,
+and the merge folds pieces in partition order — so scheduling (and even the
+process boundary) can change wall-clock, never results.  With a single
 partition the campaign *is* the monolithic pipeline, bit for bit: the piece
 is the original pair object and the seed is the configured seed.
 
+Failure contract: a piece that crashes (in-process exception or a worker
+process dying) becomes a *failed* piece, not a corrupted campaign —
+:meth:`PartitionedCampaign.run` folds every completed piece, then raises
+:class:`CampaignExecutionError`; checkpoints taken afterwards stay loadable
+and the next ``run()`` re-executes only the unfinished pieces.
+
 Configuration: ``DAAKGConfig.partition`` carries the knobs;
 ``REPRO_PARTITION_COUNT`` / ``REPRO_PARTITION_WORKERS`` /
-``REPRO_PARTITION_RHO`` override them per process (environment wins), which
-is how CI sweeps partition/worker counts without touching configs.
+``REPRO_PARTITION_RHO`` / ``REPRO_CAMPAIGN_EXECUTOR`` override them per
+process (environment wins), which is how CI sweeps partition/worker counts
+and executor backends without touching configs.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -46,6 +58,12 @@ from repro.kg.partition import (
     PartitionConfig,
     partition_pair,
     resolve_partition_config,
+)
+from repro.runtime.executor import (
+    PieceOutcome,
+    PieceSpec,
+    create_executor,
+    effective_executor_name,
 )
 from repro.runtime.merge import MergedSimilarityState
 from repro.utils.logging import get_logger
@@ -78,11 +96,19 @@ def piece_seed(base_seed: int, index: int, num_partitions: int) -> int:
 
 @dataclass
 class PartitionRunResult:
-    """Outcome of one partition's campaign run."""
+    """Outcome of one partition's campaign run.
+
+    ``status`` is ``"completed"`` (the piece ran and its result was folded
+    in), ``"skipped"`` (the piece had already exhausted its batch budget, so
+    nothing was scheduled), or ``"failed"`` (the piece crashed; ``error``
+    holds the reason and the piece keeps its pre-run state).
+    """
 
     index: int
     seconds: float
     records: list[ActiveLearningRecord] = field(default_factory=list)
+    status: str = "completed"
+    error: str | None = None
 
 
 @dataclass
@@ -91,11 +117,38 @@ class CampaignResult:
 
     partition_results: list[PartitionRunResult]
     seconds: float
+    executor: str = "serial"
 
     @property
     def total_labels(self) -> int:
         return sum(
             r.records[-1].labels_used for r in self.partition_results if r.records
+        )
+
+    @property
+    def failed(self) -> list[PartitionRunResult]:
+        return [r for r in self.partition_results if r.status == "failed"]
+
+
+class CampaignExecutionError(RuntimeError):
+    """One or more pieces failed; the campaign itself stays resumable.
+
+    Raised by :meth:`PartitionedCampaign.run` *after* every completed
+    piece's result has been folded in, so the campaign object (and any
+    checkpoint taken from it) keeps all successful work.  ``result`` holds
+    the full per-piece breakdown; calling ``run()`` again re-executes only
+    the failed pieces.
+    """
+
+    def __init__(self, result: CampaignResult) -> None:
+        self.result = result
+        failed = result.failed
+        detail = "; ".join(f"piece {r.index}: {r.error}" for r in failed)
+        super().__init__(
+            f"{len(failed)} of {len(result.partition_results)} campaign pieces "
+            f"failed ({detail}); completed pieces kept their results — "
+            "run() again (or save()/load() first) re-executes only the "
+            "failed pieces"
         )
 
 
@@ -117,7 +170,15 @@ def _augmented_kgs(
 
 
 class PartitionedCampaign:
-    """Runs per-partition DAAKG campaigns in parallel and merges their states.
+    """Orchestrates per-partition DAAKG campaigns and merges their states.
+
+    The campaign itself only *orchestrates*: it cuts the pair, derives one
+    self-contained :class:`PieceSpec` per partition, hands the specs to a
+    :class:`CampaignExecutor` backend (serial / thread / process — selected
+    via ``partition.executor``, overridable with ``REPRO_CAMPAIGN_EXECUTOR``)
+    and folds the per-piece result checkpoints back in.  All training runs
+    inside :func:`repro.runtime.executor.run_piece_spec`, whichever backend
+    hosts it.
 
     Parameters
     ----------
@@ -161,6 +222,8 @@ class PartitionedCampaign:
         n = self.partition.num_partitions
         self.pipelines: list["DAAKG | None"] = [None] * n
         self.loops: list[ActiveLearningLoop | None] = [None] * n
+        # per-piece encoded dataset arrays, built once (specs reuse them)
+        self._piece_arrays: dict[int, dict[str, np.ndarray]] = {}
         # merged-state cache, keyed on every piece engine's version token so
         # training through ANY path (run(), or a piece's public pipeline()/
         # loop() accessors) invalidates it
@@ -198,44 +261,170 @@ class PartitionedCampaign:
         return self.loops[index]
 
     # -------------------------------------------------------------------- run
-    def _run_piece(self, index: int, max_batches: int | None) -> PartitionRunResult:
-        start = time.perf_counter()
-        pipeline = self.pipeline(index)
-        if not pipeline.is_fitted:
-            pipeline.fit()
-        loop = self.loop(index)
-        loop.run(max_batches)
-        seconds = time.perf_counter() - start
-        logger.info(
-            "partition %d/%d done in %.2fs (%d records)",
-            index + 1,
-            self.num_partitions,
-            seconds,
-            len(loop.records),
+    @property
+    def executor_name(self) -> str:
+        """The concrete executor backend ``run()`` will use on this machine.
+
+        ``partition_config.executor`` (after environment resolution) mapped
+        through :func:`repro.runtime.executor.effective_executor_name`:
+        ``"auto"`` becomes ``"process"`` when the campaign has more than one
+        piece, more than one worker and more than one core.
+        """
+        return effective_executor_name(
+            self.partition_config.executor,
+            workers=self.partition_config.workers,
+            num_partitions=self.num_partitions,
         )
-        return PartitionRunResult(index=index, seconds=seconds, records=list(loop.records))
+
+    def _piece_complete(self, index: int) -> bool:
+        """True when the piece has nothing left to run (fit + full budget)."""
+        pipeline = self.pipelines[index]
+        loop = self.loops[index]
+        return (
+            pipeline is not None
+            and pipeline.is_fitted
+            and loop is not None
+            and loop.batches_done >= loop.config.num_batches
+        )
+
+    def piece_specs(
+        self,
+        directory: str | Path,
+        max_batches: int | None = None,
+        indices: list[int] | None = None,
+    ) -> list[PieceSpec]:
+        """Self-contained, picklable specs for the given (default: all) pieces.
+
+        Each spec carries everything its runner needs: a started piece is
+        snapshotted into a standard checkpoint under ``directory`` (so the
+        runner resumes it bit-exactly, wherever it runs), an unstarted piece
+        carries its encoded dataset arrays and seeded config JSON.  Result
+        checkpoints land in per-piece ``piece_NNNN_out`` directories under
+        ``directory``.  This is the whole campaign↔executor interface —
+        shipping these specs to another machine (plus a shared filesystem)
+        is all a multi-machine fleet needs.
+        """
+        from repro.core.config import config_to_dict  # circular at module level
+        from repro.persistence.checkpoint import save_checkpoint  # circular at module level
+
+        directory = Path(directory)
+        active_config = (
+            config_to_dict(self.active_config) if self.active_config is not None else None
+        )
+        specs = []
+        for index in indices if indices is not None else range(self.num_partitions):
+            checkpoint_dir: str | None = None
+            dataset_arrays = None
+            if self.pipelines[index] is not None:
+                path = directory / f"piece_{index:04d}_in"
+                save_checkpoint(path, self.pipelines[index], loop=self.loops[index])
+                checkpoint_dir = str(path)
+            else:
+                dataset_arrays = self._piece_dataset_arrays(index)
+            specs.append(
+                PieceSpec(
+                    index=index,
+                    config_json=self._piece_config(index).to_json(),
+                    strategy=self.strategy,
+                    active_config=active_config,
+                    max_batches=max_batches,
+                    dataset_arrays=dataset_arrays,
+                    checkpoint_dir=checkpoint_dir,
+                    output_dir=str(directory / f"piece_{index:04d}_out"),
+                )
+            )
+        return specs
+
+    def _piece_dataset_arrays(self, index: int) -> dict[str, np.ndarray]:
+        """The piece pair encoded once (specs for unstarted pieces reuse it)."""
+        from repro.persistence.codec import pair_to_arrays  # circular at module level
+
+        if index not in self._piece_arrays:
+            arrays: dict[str, np.ndarray] = {}
+            pair_to_arrays(self.partition.pieces[index].pair, "dataset", arrays)
+            self._piece_arrays[index] = arrays
+        return self._piece_arrays[index]
+
+    def _fold_outcome(self, outcome: PieceOutcome) -> None:
+        """Adopt a completed piece's result checkpoint (bit-exact restore)."""
+        from repro.persistence.checkpoint import load_checkpoint, restore_loop
+
+        loop = restore_loop(load_checkpoint(outcome.output_dir))
+        self.loops[outcome.index] = loop
+        self.pipelines[outcome.index] = loop.daakg
 
     def run(self, max_batches: int | None = None) -> CampaignResult:
-        """Fit + run the active loop of every partition (thread pool).
+        """Fit + run the active loop of every unfinished partition.
 
+        Pieces execute on the configured :class:`CampaignExecutor` backend
+        (``executor_name``); every backend runs the same
+        :func:`~repro.runtime.executor.run_piece_spec` and every result is
+        folded back through the bit-exact checkpoint restore path, so the
+        backend and worker count can never change results — only wall-clock.
         ``max_batches`` caps how many *new* batches each partition processes
         this call (resume semantics identical to ``ActiveLearningLoop.run``).
-        Partitions are independent, so the result is the same for any
-        ``workers`` value; only wall-clock changes.
+        Pieces that already exhausted their batch budget are skipped; failed
+        pieces raise :class:`CampaignExecutionError` *after* all completed
+        pieces have been folded in, keeping the campaign resumable.
         """
         start = time.perf_counter()
-        workers = self.partition_config.workers
-        indices = list(range(self.num_partitions))
-        if workers <= 1 or self.num_partitions <= 1:
-            results = [self._run_piece(i, max_batches) for i in indices]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(
-                    pool.map(lambda i: self._run_piece(i, max_batches), indices)
+        executor_name = self.executor_name
+        outcomes: dict[int, PieceOutcome] = {}
+        pending = [
+            index
+            for index in range(self.num_partitions)
+            if not self._piece_complete(index)
+        ]
+        scratch = Path(tempfile.mkdtemp(prefix="repro-campaign-"))
+        try:
+            if pending:
+                specs = self.piece_specs(scratch, max_batches, indices=pending)
+                executor = create_executor(
+                    executor_name, workers=self.partition_config.workers
                 )
-        return CampaignResult(
-            partition_results=results, seconds=time.perf_counter() - start
+                logger.info(
+                    "running %d/%d pieces on the %s executor (%d workers)",
+                    len(pending),
+                    self.num_partitions,
+                    executor_name,
+                    executor.workers,
+                )
+                for outcome in executor.execute(specs):
+                    outcomes[outcome.index] = outcome
+                    if outcome.completed:
+                        self._fold_outcome(outcome)
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+        results = []
+        for index in range(self.num_partitions):
+            outcome = outcomes.get(index)
+            loop = self.loops[index]
+            records = list(loop.records) if loop is not None else []
+            if outcome is None:
+                results.append(
+                    PartitionRunResult(
+                        index=index, seconds=0.0, records=records, status="skipped"
+                    )
+                )
+            else:
+                results.append(
+                    PartitionRunResult(
+                        index=index,
+                        seconds=outcome.seconds,
+                        records=records,
+                        status=outcome.status,
+                        error=outcome.error,
+                    )
+                )
+        result = CampaignResult(
+            partition_results=results,
+            seconds=time.perf_counter() - start,
+            executor=executor_name,
         )
+        if result.failed:
+            raise CampaignExecutionError(result)
+        return result
 
     # ------------------------------------------------------------------ merge
     def _working_index(self) -> dict[ElementKind, tuple[dict[str, int], dict[str, int]]]:
@@ -267,6 +456,28 @@ class PartitionedCampaign:
         :meth:`run`, or a piece's ``pipeline()``/``loop()`` accessors)
         rebuilds it instead of serving stale similarities.
         """
+        unfitted = [
+            index
+            for index in range(self.num_partitions)
+            if self.pipelines[index] is None or not self.pipelines[index].is_fitted
+        ]
+        if unfitted:
+            raise CampaignExecutionError(
+                CampaignResult(
+                    partition_results=[
+                        PartitionRunResult(
+                            index=index,
+                            seconds=0.0,
+                            status="failed",
+                            error="piece has not been trained (run() the campaign "
+                            "first; resume re-runs only unfinished pieces)",
+                        )
+                        for index in unfitted
+                    ],
+                    seconds=0.0,
+                    executor=self.executor_name,
+                )
+            )
         fingerprint = self._state_fingerprint()
         if self._merged is not None and self._merged[0] == fingerprint:
             return self._merged[1]
@@ -353,6 +564,7 @@ class PartitionedCampaign:
             "partition": self.partition.summary(),
             "strategy": self.strategy,
             "workers": self.partition_config.workers,
+            "executor": self.executor_name,
             "progress": [
                 {
                     "index": i,

@@ -86,8 +86,9 @@ class DAAKGConfig:
     # Campaign partitioning: how PartitionedCampaign cuts the pair into
     # rho-bounded cross-linked sub-pairs and how wide its worker pool is.
     # The REPRO_PARTITION_COUNT / REPRO_PARTITION_WORKERS /
-    # REPRO_PARTITION_RHO environment variables override these per process
-    # (see repro.kg.partition); num_partitions=1 keeps the monolithic path.
+    # REPRO_PARTITION_RHO / REPRO_CAMPAIGN_EXECUTOR environment variables
+    # override these per process (see repro.kg.partition);
+    # num_partitions=1 keeps the monolithic path.
     partition: PartitionConfig = PartitionConfig()
     # Ablation switches (Table 5)
     use_class_embeddings: bool = True

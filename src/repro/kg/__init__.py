@@ -14,6 +14,7 @@ from repro.kg.partition import (
     PartitionConfig,
     PartitionPiece,
     partition_pair,
+    resolve_campaign_executor,
     resolve_partition_config,
     resolve_partition_count,
     resolve_partition_rho,
@@ -39,6 +40,7 @@ __all__ = [
     "load_openea_directory",
     "partition_pair",
     "relation_functionality",
+    "resolve_campaign_executor",
     "resolve_partition_config",
     "resolve_partition_count",
     "resolve_partition_rho",

@@ -38,9 +38,10 @@ the sub-KGs keep the original order, and ``num_partitions=1`` returns the
 monolithic pipeline.
 
 Environment overrides (``REPRO_PARTITION_COUNT`` / ``REPRO_PARTITION_WORKERS``
-/ ``REPRO_PARTITION_RHO``) mirror the similarity backend's
-``REPRO_SIMILARITY_*`` convention: the environment wins over the configured
-value, which is how CI sweeps worker counts without touching any config.
+/ ``REPRO_PARTITION_RHO`` / ``REPRO_CAMPAIGN_EXECUTOR``) mirror the
+similarity backend's ``REPRO_SIMILARITY_*`` convention: the environment wins
+over the configured value, which is how CI sweeps worker counts and executor
+backends without touching any config.
 """
 
 from __future__ import annotations
@@ -62,6 +63,11 @@ logger = get_logger(__name__)
 PARTITION_COUNT_ENV = "REPRO_PARTITION_COUNT"
 PARTITION_WORKERS_ENV = "REPRO_PARTITION_WORKERS"
 PARTITION_RHO_ENV = "REPRO_PARTITION_RHO"
+CAMPAIGN_EXECUTOR_ENV = "REPRO_CAMPAIGN_EXECUTOR"
+
+#: Valid values of ``PartitionConfig.executor``; the concrete backends live
+#: in :mod:`repro.runtime.executor`, ``"auto"`` resolves there per machine.
+EXECUTOR_CHOICES = ("auto", "serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -74,8 +80,13 @@ class PartitionConfig:
     ``max_refine_passes`` — bound on the ρ-refinement sweeps;
     ``balance_slack`` — a partition may exceed the ideal ``anchors/partitions``
     size by at most this fraction during refinement;
-    ``workers`` — thread-pool width of the campaign runtime (results are
-    deterministic for any value, same contract as ``ShardedBackend``).
+    ``workers`` — worker-pool width of the campaign runtime (results are
+    deterministic for any value, same contract as ``ShardedBackend``);
+    ``executor`` — which campaign executor runs the pieces (``"serial"``,
+    ``"thread"``, ``"process"``, or ``"auto"`` to pick the process backend
+    whenever >1 worker is requested and >1 core is available — the thread
+    pool cannot scale the GIL-bound training loops).  The executor never
+    changes results, only wall-clock.
     """
 
     num_partitions: int = 1
@@ -83,6 +94,7 @@ class PartitionConfig:
     max_refine_passes: int = 4
     balance_slack: float = 0.25
     workers: int = 1
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -95,6 +107,11 @@ class PartitionConfig:
             raise ValueError("balance_slack must be >= 0")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ValueError(
+                f"executor must be one of {', '.join(EXECUTOR_CHOICES)}; "
+                f"got {self.executor!r}"
+            )
 
 
 def _env_int(name: str, fallback: int) -> int:
@@ -127,6 +144,23 @@ def resolve_partition_rho(configured: float | None = None) -> float:
     return rho
 
 
+def resolve_campaign_executor(configured: str | None = None) -> str:
+    """Effective executor selection: env override first, then config, then auto.
+
+    Resolution stops at the *name* (``"auto"`` stays ``"auto"`` here); the
+    campaign maps it to a concrete backend per machine via
+    :func:`repro.runtime.executor.effective_executor_name`.
+    """
+    raw = os.environ.get(CAMPAIGN_EXECUTOR_ENV, "").strip()
+    executor = raw if raw else (configured if configured is not None else "auto")
+    if executor not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"campaign executor must be one of {', '.join(EXECUTOR_CHOICES)}; "
+            f"got {executor!r}"
+        )
+    return executor
+
+
 def resolve_partition_config(configured: "PartitionConfig | None" = None) -> "PartitionConfig":
     """``configured`` with every ``REPRO_PARTITION_*`` override applied."""
     base = configured or PartitionConfig()
@@ -136,6 +170,7 @@ def resolve_partition_config(configured: "PartitionConfig | None" = None) -> "Pa
         max_refine_passes=base.max_refine_passes,
         balance_slack=base.balance_slack,
         workers=resolve_partition_workers(base.workers),
+        executor=resolve_campaign_executor(base.executor),
     )
 
 

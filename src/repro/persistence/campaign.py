@@ -17,9 +17,12 @@ resume (partitioning and per-piece seeds are pure functions of the saved
 dataset and configuration).
 
 ``load_campaign`` restores the campaign with the partitioning **saved in the
-manifest** — environment overrides (``REPRO_PARTITION_COUNT`` …) are
-deliberately *not* re-applied, because resharding a half-finished campaign
-would silently orphan its per-partition checkpoints.
+manifest** — environment overrides (``REPRO_PARTITION_COUNT`` …,
+``REPRO_CAMPAIGN_EXECUTOR``) are deliberately *not* re-applied, because
+resharding a half-finished campaign would silently orphan its per-partition
+checkpoints.  The manifest also records the *resolved* executor name
+(``"executor"``) that ran the campaign, alongside the configured value kept
+inside ``partition_config``, so resumed runs re-use the same backend.
 """
 
 from __future__ import annotations
@@ -136,6 +139,7 @@ def save_campaign(path: str | os.PathLike, campaign: "PartitionedCampaign") -> P
             else None
         ),
         "strategy": campaign.strategy,
+        "executor": campaign.executor_name,
         "num_partitions": campaign.num_partitions,
         "partition_summary": campaign.partition.summary(),
         "pieces": pieces,

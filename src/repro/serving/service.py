@@ -140,7 +140,10 @@ class ServingSnapshot:
         original pair's vocabularies.  Fold-in is not supported (each
         partition trained its own embedding space; see
         ``fold_in_supported``) — a hot-swap to a retrained campaign is the
-        way to absorb new entities.
+        way to absorb new entities.  A campaign with unfinished pieces
+        (never run, or pieces that failed on their executor) raises
+        ``CampaignExecutionError`` here instead of serving a partial merge;
+        ``campaign.run()`` re-executes exactly the unfinished pieces.
         """
         from repro.active.campaign import _augmented_kgs  # circular at module level
 

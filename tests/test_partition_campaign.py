@@ -269,8 +269,13 @@ def test_campaign_checkpoint_roundtrip_and_resume(campaign_config, loop_config, 
     path = tmp_path / "campaign"
     first.save(path)
 
+    import json
+
+    manifest = json.loads((path / "campaign.json").read_text())
+    assert manifest["executor"] == first.executor_name
     restored = PartitionedCampaign.load(path)
     assert restored.num_partitions == 3
+    assert restored.executor_name == first.executor_name
     first.run()
     restored.run()
     for i in range(3):
