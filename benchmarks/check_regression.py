@@ -8,10 +8,17 @@ compares them headline-by-headline against the committed baselines and fails
 * total ``wall_time_seconds`` regresses by more than ``--max-wall-ratio``
   (default 1.2, i.e. >20% slower) — tiny baselines below
   ``--min-wall-seconds`` are exempt, their noise exceeds any honest signal;
-* any *accuracy-like* headline metric (H@1/MRR/F1/precision/recall/speedup/
+* any ``recall*`` headline metric drops **at all** — recall floors are
+  contractual (the ANN backend calibrates against them), so they gate
+  strictly with no epsilon;
+* any other *accuracy-like* headline metric (H@1/MRR/F1/precision/speedup/
   power/…, where higher is better) drops by more than
   ``--accuracy-epsilon``;
 * a boolean headline invariant flips from true to false.
+
+A fresh artifact with no committed baseline (e.g. a PR that adds a new
+benchmark, or baselines predating ``BENCH_ann.json``) is tolerated with a
+loud WARN rather than a failure — commit the fresh artifact to adopt it.
 
 Time-like headline metrics (``*_seconds``, ``*_mb``, latencies) are reported
 for context but only the benchmark's total wall time gates, keeping the wall
@@ -34,8 +41,12 @@ import json
 import os
 import sys
 
+# Recall floors gate strictly: the ANN backend calibrates its probe width
+# against a configured recall floor, so any drop is a contract violation,
+# not noise (values are deterministic — seeded data, seeded index).
+RECALL_FLOOR_MARKERS = ("recall",)
 ACCURACY_MARKERS = (
-    "h@", "h1", "h10", "hits", "mrr", "f1", "precision", "recall", "accuracy",
+    "h@", "h1", "h10", "hits", "mrr", "f1", "precision", "accuracy",
     "power", "identical",
 )
 # Performance ratios (higher is better) depend on machine speed, so they get
@@ -50,6 +61,8 @@ def classify(key: str) -> str:
     # higher-is-better direction; the producing benchmark bounds |delta|
     if "delta" in lowered:
         return "informational"
+    if any(marker in lowered for marker in RECALL_FLOOR_MARKERS):
+        return "recall_floor"
     if any(marker in lowered for marker in ACCURACY_MARKERS):
         return "higher_better"
     if any(marker in lowered for marker in PERF_RATIO_MARKERS):
@@ -173,7 +186,16 @@ def compare_artifact(name: str, baseline: dict, fresh: dict, args) -> tuple[list
             rows.append([name, key, str(base_value), str(fresh_value), "", "info"])
             continue
         delta = float(fresh_value) - float(base_value)
-        if kind == "higher_better":
+        if kind == "recall_floor":
+            status = "ok"
+            if delta < 0:
+                status = "FAIL: recall dropped (strict floor)"
+                failures.append(
+                    f"{name}: {key} dropped {base_value} -> {fresh_value} "
+                    "(recall metrics gate strictly: any drop fails)"
+                )
+            rows.append([name, key, str(base_value), str(fresh_value), f"{delta:+.4g}", status])
+        elif kind == "higher_better":
             status = "ok"
             if delta < -args.accuracy_epsilon:
                 status = "FAIL: accuracy regression"

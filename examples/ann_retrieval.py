@@ -1,0 +1,113 @@
+"""Sub-linear candidate retrieval with the ANN similarity backend.
+
+Walks the ANN backend's lifecycle on a synthetic world pair whose entity
+embeddings are *clustered* (a mixture of Gaussians — the geometry trained
+alignment models produce, and the one inverted-list indexes exploit):
+
+1. build an alignment model and pin its engine to the ``ann`` backend with
+   knobs sized for this catalogue,
+2. answer a top-k query batch from the per-channel IVF indexes and compare
+   against the exact streamed kernel — recall is high, and every returned
+   *score* is bit-identical to ``CosineChannels.pair_values`` because the
+   candidate union is re-ranked exactly,
+3. retrieve threshold candidates and check the set matches the exact scan,
+4. export a frozen serving view (``AnnView``) and fold a new column in —
+   appended tails are served exactly,
+5. show the exact fallback: default knobs refuse to index a small
+   catalogue and serve the streamed kernels instead.
+
+Run with::
+
+    python examples/ann_retrieval.py
+"""
+
+import numpy as np
+
+from repro.alignment import SimilarityEngine
+from repro.alignment.model import JointAlignmentModel
+from repro.datasets import make_large_world_pair
+from repro.embedding import TransE
+from repro.kg.elements import ElementKind
+from repro.runtime import AnnParams, create_backend, stream_topk, topk_recall
+
+NUM_ENTITIES = 2048
+EMBED_DIM = 32
+NUM_CLUSTERS = 48
+BLOCK = 1024
+TOP_K = 10
+
+
+def clustered(num: int, rng: np.random.Generator) -> np.ndarray:
+    centers = rng.normal(size=(NUM_CLUSTERS, EMBED_DIM))
+    return centers[rng.integers(0, NUM_CLUSTERS, size=num)] + 0.25 * rng.normal(
+        size=(num, EMBED_DIM)
+    )
+
+
+def build_model() -> JointAlignmentModel:
+    pair = make_large_world_pair(NUM_ENTITIES, seed=0)
+    rng = np.random.default_rng(7)
+    model1 = TransE(pair.kg1, dim=EMBED_DIM, rng=0)
+    model2 = TransE(pair.kg2, dim=EMBED_DIM, rng=1)
+    model1.entity_embeddings.weight.data[:] = clustered(pair.kg1.num_entities, rng)
+    model2.entity_embeddings.weight.data[:] = clustered(pair.kg2.num_entities, rng)
+    model1.mark_parameters_mutated()
+    model2.mark_parameters_mutated()
+    model = JointAlignmentModel(pair, model1, model2, rng=0)
+    model.set_landmarks(pair.entity_match_ids()[:128])
+    return model
+
+
+def main() -> None:
+    model = build_model()
+
+    # 1. Pin the engine to the ANN backend (config would spell this
+    #    DAAKGConfig(similarity_backend="ann", ann_nprobe=8, ...); the
+    #    REPRO_SIMILARITY_ANN_* env vars override knobs per field).
+    engine = SimilarityEngine(model, block_size=BLOCK)
+    engine.ann_params = AnnParams(nprobe=8, min_recall=0.95)
+    engine.backend = create_backend(engine, "ann")
+    model.similarity = engine
+
+    channels = engine.channels(ElementKind.ENTITY)
+    indexes, nprobe = engine.backend._index_for(ElementKind.ENTITY)
+    print(f"indexed {channels.num_cols} columns x {len(indexes)} channels, nprobe={nprobe}")
+
+    # 2. Top-k through the index vs the exact streamed kernel.
+    query = np.linspace(0, channels.num_rows - 1, 256).astype(np.int64)
+    ann_idx, ann_val = engine.backend.query_top_k(ElementKind.ENTITY, query, TOP_K)
+    exact_idx, exact_val = stream_topk(channels.select_rows(query), TOP_K, BLOCK, 1)
+    recall = topk_recall(exact_idx, ann_idx, exact_val, ann_val)
+    pair_exact = np.array_equal(
+        ann_val.ravel(),
+        channels.pair_values(np.repeat(query, TOP_K), ann_idx.ravel()),
+    )
+    print(f"top-{TOP_K} recall vs exact: {recall:.3f} (value-aware: bitwise ties count)")
+    print(f"returned scores bit-identical to pair_values: {pair_exact}")
+
+    # 3. Threshold candidates: the pruned scan returns the exact set.
+    threshold = 0.9
+    ar, ac, av = engine.backend.threshold_candidates(ElementKind.ENTITY, threshold)
+    print(f"threshold >= {threshold}: {ar.size} candidate pairs (exact set, row-major)")
+
+    # 4. A frozen serving view with exact fold-in.
+    view = engine.backend.view(ElementKind.ENTITY)
+    folded = view.append_col(np.full(view.num_rows, 2.0))
+    idx, val = folded.top_k_for_rows(query[:4], 3)
+    assert np.all(idx[:, 0] == view.num_cols) and np.all(val[:, 0] == 2.0)
+    print(f"serving view: {type(view).__name__}, folded column ranks first exactly")
+
+    # 5. Default knobs on a small catalogue: exact fallback, bit-equal to
+    #    the streamed backend.
+    small = SimilarityEngine(model, block_size=BLOCK)
+    small.ann_params = AnnParams()  # min_index_cols=1024 is per-kind; the
+    small.backend = create_backend(small, "ann")  # RELATION catalogue is tiny
+    fallback = small.backend._index_for(ElementKind.RELATION) is None
+    print(f"relation catalogue falls back to the exact streamed kernels: {fallback}")
+
+    assert recall >= 0.95 and pair_exact and fallback
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

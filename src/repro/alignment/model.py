@@ -76,6 +76,7 @@ class JointAlignmentModel(Module):
         propagation_alpha: float = 0.6,
         similarity_backend: str | None = None,
         similarity_workers: int | None = None,
+        similarity_ann=None,
         rng: RandomState = None,
     ) -> None:
         if model1.dim != model2.dim:
@@ -105,7 +106,7 @@ class JointAlignmentModel(Module):
         self._snapshot_version = 0
         self._landmark_version = 0
         self.similarity = SimilarityEngine(
-            self, backend=similarity_backend, workers=similarity_workers
+            self, backend=similarity_backend, workers=similarity_workers, ann=similarity_ann
         )
 
         entity_dim = model1.dim

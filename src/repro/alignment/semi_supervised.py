@@ -103,15 +103,13 @@ def mine_potential_matches_from_engine(
     """Backend-agnostic mining: threshold scan over *streamed* similarity tiles.
 
     Only the entries above ``τ`` are ever held in memory (the mined candidate
-    set), never the full matrix.  Candidates come from the shared
-    :func:`repro.runtime.streaming.collect_threshold_candidates` scan in
-    global row-major order — the same order ``np.where`` yields on a dense
-    matrix — and ``resolve_conflicts`` sorts stably, so the result is
-    identical to :func:`mine_potential_matches` on the materialised matrix,
-    ties included.
+    set), never the full matrix.  Candidates come from the backend's
+    threshold scan (:meth:`SimilarityEngine.threshold_candidates`) in global
+    row-major order — the same order ``np.where`` yields on a dense matrix,
+    and exact on every backend including ANN — and ``resolve_conflicts``
+    sorts stably, so the result is identical to
+    :func:`mine_potential_matches` on the materialised matrix, ties included.
     """
-    from repro.runtime.streaming import collect_threshold_candidates
-
     num_rows, num_cols = engine.shape(kind)
     if num_rows == 0 or num_cols == 0:
         return []
@@ -122,7 +120,7 @@ def mine_potential_matches_from_engine(
             engine.matrix(kind), threshold, exclude, exclude_left, exclude_right,
             max_candidates,
         )
-    rows, cols, values = collect_threshold_candidates(engine.stream_blocks(kind), threshold)
+    rows, cols, values = engine.threshold_candidates(kind, threshold)
     return _filter_and_resolve(
         rows, cols, values, exclude, exclude_left, exclude_right, max_candidates
     )

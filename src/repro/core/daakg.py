@@ -38,6 +38,7 @@ from repro.inference.power import InferencePowerEstimator
 from repro.kg.elements import ElementKind, Triple
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.pair import AlignedKGPair
+from repro.runtime.ann import AnnParams
 from repro.utils.logging import get_logger
 from repro.utils.rng import ensure_rng, spawn
 from repro.utils.timer import Timer
@@ -160,6 +161,11 @@ class DAAKG:
             use_structural_channel=config.use_structural_channel,
             similarity_backend=config.similarity_backend,
             similarity_workers=config.similarity_workers,
+            similarity_ann=AnnParams(
+                nlist=config.ann_nlist,
+                nprobe=config.ann_nprobe,
+                min_recall=config.ann_min_recall,
+            ),
             rng=self.rng,
         )
         alignment_config = replace(
@@ -258,20 +264,18 @@ class DAAKG:
         """Greedy one-to-one matching over streamed above-threshold candidates.
 
         Same tie-sensitive greedy contract as mining: candidates come from
-        the shared row-major threshold scan and go through
+        the backend's row-major threshold scan (exact on every backend — the
+        ANN backend prunes with covering radii) and go through
         ``resolve_conflicts`` (stable sort by descending score), so there is
         exactly one implementation of each half.
         """
         from repro.alignment.semi_supervised import resolve_conflicts
-        from repro.runtime.streaming import stream_threshold_candidates
 
         engine = self.model.similarity
         num_rows, num_cols = engine.shape(kind)
         if num_rows == 0 or num_cols == 0:
             return []
-        rows, cols, values = stream_threshold_candidates(
-            engine.channels(kind), threshold, engine.block_size, engine.workers
-        )
+        rows, cols, values = engine.threshold_candidates(kind, threshold)
         resolved = resolve_conflicts(list(zip(rows.tolist(), cols.tolist(), values.tolist())))
         return [(left, right) for left, right, _ in resolved]
 

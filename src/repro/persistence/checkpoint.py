@@ -236,6 +236,11 @@ def save_checkpoint(path: str | os.PathLike, daakg: "DAAKG", loop: "ActiveLearni
         "format_version": FORMAT_VERSION,
         "kind": "daakg-checkpoint",
         "similarity_backend": engine.backend_name,
+        # ANN indexes are *derived* state — cached per engine version token
+        # and rebuilt on demand after restore — so only the knobs that shaped
+        # any saved top-k tables are stamped, never the indexes themselves
+        # (a checkpointed index could silently go stale against the arrays).
+        "similarity_ann": dataclasses.asdict(engine.ann_params),
         "config": config_to_dict(daakg.config),
         "fitted": daakg.is_fitted,
         "training_seconds": daakg.training_time.elapsed,
@@ -366,8 +371,16 @@ def restore_pipeline(checkpoint: Checkpoint) -> "DAAKG":
     engine.invalidate()
     # Re-seed saved top-k tables when the restored engine runs the same
     # backend kind the checkpoint was written with (restoration is bit-exact,
-    # so the tables describe exactly the restored similarity state).
-    if manifest.get("similarity_backend") == engine.backend_name and manifest.get("has_snapshot"):
+    # so the tables describe exactly the restored similarity state).  ANN
+    # tables additionally require matching knobs — on the ANN backend the
+    # table content depends on the probe configuration, and a manifest
+    # predating the stamp cannot prove a match.  The ANN *indexes* are never
+    # in the checkpoint: they are derived state, rebuilt lazily under the
+    # restored engine's version token on first query.
+    same_backend = manifest.get("similarity_backend") == engine.backend_name
+    if same_backend and engine.backend_name == "ann":
+        same_backend = manifest.get("similarity_ann") == dataclasses.asdict(engine.ann_params)
+    if same_backend and manifest.get("has_snapshot"):
         topk = checkpoint.section("topk")
         if topk:
             engine.seed_top_k_arrays(topk)

@@ -1,0 +1,718 @@
+"""Sub-linear candidate retrieval: IVF indexes over cosine channel factors.
+
+The third similarity backend.  Every similarity in this codebase is
+``max_c A_c · B_cᵀ`` over row-normalised factor channels, so candidate
+retrieval reduces to (approximate) maximum-inner-product search over each
+channel's *column* factors: one coarse inverted-list index per channel
+(spherical k-means quantisation, seeded and deterministic), probe the
+``nprobe`` closest lists per query, union the candidates across channels,
+then **re-rank the candidates exactly** with the factored pair kernel
+(:func:`repro.runtime.streaming.rerank_pairs_topk`, built on
+``CosineChannels.pair_values`` — the same kernel the serving views' ``gather``
+uses).  Returned scores are therefore bit-identical to exact pair scores;
+only *recall* (which candidates are found) depends on the knobs.
+
+Knobs and guarantees:
+
+* ``nlist`` — inverted lists per channel (0 = auto ``≈ √M``, which makes a
+  probe-plus-rerank query ``O(√M)`` instead of ``O(M)``);
+* ``nprobe`` — lists probed per query; the build-time calibration pass
+  doubles it until sampled top-k recall reaches ``min_recall`` (so the
+  configured floor, not the raw knob, is what the index delivers);
+* threshold-candidate queries are **exact** for any knob setting: each list
+  stores its covering radius, and on unit vectors
+  ``dot(q, x) ≤ dot(q, c) + ‖x − c‖`` prunes lists rigorously;
+* below ``min_index_cols`` columns (or when probing would degenerate to a
+  full scan) the backend silently serves the exact streamed kernels — the
+  parity suite runs unmodified against ``REPRO_SIMILARITY_BACKEND=ann``.
+
+Indexes are *derived state*: cached per engine version token
+``(parameter, snapshot, landmark)`` and rebuilt on demand after any bump —
+never checkpointed, never served stale.  Landmark machinery is reused where
+available: the entity-kind index seeds its initial centroids from the
+current landmark entities' factor rows.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.runtime.backends import SimilarityBackend, StreamedChannelQueries, TopKTable
+from repro.runtime.streaming import (
+    ChannelPair,
+    CosineChannels,
+    _as_blocks,
+    canonical_topk,
+    mutual_pairs_from_topn,
+    rerank_pairs_topk,
+    stream_topk,
+)
+from repro.runtime.views import AnnView, SimilarityView, StreamedView
+from repro.utils.math import safe_l2_normalize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with similarity.py
+    from repro.kg.elements import ElementKind
+
+ANN_NLIST_ENV = "REPRO_SIMILARITY_ANN_NLIST"
+ANN_NPROBE_ENV = "REPRO_SIMILARITY_ANN_NPROBE"
+ANN_MIN_RECALL_ENV = "REPRO_SIMILARITY_ANN_MIN_RECALL"
+
+# top-k width used by the build-time recall calibration pass
+_CALIBRATION_K = 10
+# safety margin on covering radii: the probe bound is computed with a GEMM
+# while the re-rank uses einsum; both round in the last ulp, so the exact
+# threshold-pruning guarantee needs a hair of slack
+_RADIUS_MARGIN = 1e-9
+
+
+@dataclass(frozen=True)
+class AnnParams:
+    """Knobs of the ANN backend (see the module docstring for semantics)."""
+
+    nlist: int = 0  # inverted lists per channel; 0 = auto (~sqrt of columns)
+    nprobe: int = 8  # lists probed per query (calibration may raise it)
+    min_recall: float = 0.95  # sampled top-k recall floor enforced at build
+    min_index_cols: int = 1024  # below this, serve the exact streamed kernels
+    seed: int = 0  # k-means init seed (with knobs, fully determines the index)
+    kmeans_iters: int = 6
+    calibration_rows: int = 64  # sample size of the recall calibration pass
+
+    def __post_init__(self) -> None:
+        if self.nlist < 0:
+            raise ValueError("ann nlist must be >= 0 (0 = auto)")
+        if self.nprobe < 1:
+            raise ValueError("ann nprobe must be >= 1")
+        if not (0.0 < self.min_recall <= 1.0):
+            raise ValueError("ann min_recall must be in (0, 1]")
+        if self.min_index_cols < 1:
+            raise ValueError("ann min_index_cols must be >= 1")
+        if self.kmeans_iters < 1 or self.calibration_rows < 1:
+            raise ValueError("ann kmeans_iters and calibration_rows must be >= 1")
+
+
+def _env_int(name: str, fallback: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else fallback
+
+
+def _env_float(name: str, fallback: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else fallback
+
+
+def resolve_ann_params(configured: AnnParams | None = None) -> AnnParams:
+    """Effective ANN knobs: env overrides first, then config, then defaults.
+
+    Mirrors ``resolve_backend_name`` — ``REPRO_SIMILARITY_ANN_NLIST`` /
+    ``REPRO_SIMILARITY_ANN_NPROBE`` / ``REPRO_SIMILARITY_ANN_MIN_RECALL``
+    win over the configured values, field by field.
+    """
+    base = configured if configured is not None else AnnParams()
+    return replace(
+        base,
+        nlist=_env_int(ANN_NLIST_ENV, base.nlist),
+        nprobe=_env_int(ANN_NPROBE_ENV, base.nprobe),
+        min_recall=_env_float(ANN_MIN_RECALL_ENV, base.min_recall),
+    )
+
+
+# ----------------------------------------------------------- index structure
+@dataclass(frozen=True)
+class ChannelIVFIndex:
+    """One channel's inverted-list index over its column factors.
+
+    ``members[indptr[j]:indptr[j+1]]`` are list ``j``'s column ids
+    (ascending); ``radii[j]`` covers ``max ‖x − c_j‖`` over the members plus
+    a rounding margin, which is what makes threshold pruning exact.
+    ``vectors`` stores *every* channel's member factor rows in list order —
+    probing a list scores a contiguous slab per channel with one GEMM each
+    instead of a scattered gather (the exact scan is pure GEMM too, so a
+    gather-based probe could never beat it), and having all channels lets
+    the probe rank candidates by the full max-combined score: a column
+    retrieved here because of *this* channel's geometry still competes with
+    its best channel's value, so per-list truncation loses nothing.
+    """
+
+    centroids: np.ndarray  # (nlist, d), unit rows
+    radii: np.ndarray  # (nlist,)
+    indptr: np.ndarray  # (nlist + 1,)
+    members: np.ndarray  # (M,) column ids grouped by list, ascending per list
+    vectors: tuple[np.ndarray, ...]  # per channel: (M, d_c) rows, grouped order
+
+    @property
+    def nlist(self) -> int:
+        return self.centroids.shape[0]
+
+
+def build_channel_index(
+    right: np.ndarray,
+    nlist: int,
+    iters: int,
+    seed,
+    initial: np.ndarray | None = None,
+    slab_rights: tuple[np.ndarray, ...] | None = None,
+) -> ChannelIVFIndex:
+    """Spherical k-means over unit column factors (seeded, deterministic).
+
+    ``initial`` rows (e.g. landmark factor rows) seed the first centroids;
+    the remainder is a seeded sample of the data.  Assignment maximises the
+    dot product (factors are unit rows, so this is cosine k-means); empty
+    clusters keep their previous centroid.  ``slab_rights`` are the column
+    factors of *all* channels (default: just this one) — each is reordered
+    into the contiguous per-list scoring slabs of ``vectors``.
+    """
+    right = np.asarray(right, dtype=float)
+    num_cols, dim = right.shape
+    nlist = max(1, min(nlist, num_cols))
+    centroids = np.empty((0, dim))
+    if initial is not None and initial.size:
+        centroids = safe_l2_normalize(np.asarray(initial, dtype=float))[:nlist]
+    if centroids.shape[0] < nlist:
+        rng = np.random.default_rng(seed)
+        extra = rng.permutation(num_cols)[: nlist - centroids.shape[0]]
+        centroids = np.concatenate([centroids, right[np.sort(extra)]], axis=0)
+    centroids = centroids.copy()
+    assign = np.argmax(right @ centroids.T, axis=1)
+    for _ in range(iters):
+        order = np.argsort(assign, kind="stable")
+        counts = np.bincount(assign, minlength=nlist)
+        nonempty = counts > 0
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        sums = np.add.reduceat(right[order], starts[nonempty], axis=0)
+        norms = np.linalg.norm(sums, axis=1)
+        ok = norms > 1e-12
+        updated = centroids[nonempty]
+        updated[ok] = sums[ok] / norms[ok, None]
+        centroids[nonempty] = updated
+        assign = np.argmax(right @ centroids.T, axis=1)
+    order = np.argsort(assign, kind="stable")  # stable: members ascend per list
+    counts = np.bincount(assign, minlength=nlist)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    dots = np.einsum("ij,ij->i", right, centroids[assign])
+    dist = np.sqrt(np.maximum(2.0 - 2.0 * dots, 0.0))
+    radii = np.zeros(nlist)
+    np.maximum.at(radii, assign, dist)
+    members = order.astype(np.int64)
+    slabs = tuple(
+        np.ascontiguousarray(np.asarray(r, dtype=float)[members])
+        for r in (slab_rights if slab_rights is not None else (right,))
+    )
+    return ChannelIVFIndex(centroids, radii + _RADIUS_MARGIN, indptr, members, slabs)
+
+
+# ------------------------------------------------------------- query kernels
+# GEMM scores and einsum-based ``pair_values`` both round in the last ulp;
+# the threshold pre-filter keeps a slack band so the exact filter that
+# follows never loses a qualifying pair to that rounding
+_SCORE_SLACK = 1e-9
+
+
+def _group_by_list(row_local: np.ndarray, lists: np.ndarray):
+    """Group probe ``(row, list)`` pairs by list for per-list GEMM scoring.
+
+    Returns ``(uniq_lists, starts, ends, rows_sorted)``: the rows probing
+    ``uniq_lists[g]`` are ``rows_sorted[starts[g]:ends[g]]``.
+    """
+    order = np.argsort(lists, kind="stable")
+    lists_sorted = lists[order]
+    rows_sorted = row_local[order]
+    uniq, starts = np.unique(lists_sorted, return_index=True)
+    ends = np.append(starts[1:], lists_sorted.size)
+    return uniq, starts, ends, rows_sorted
+
+
+def _channel_probe_topk(
+    all_queries: tuple[np.ndarray, ...],
+    channel_idx: int,
+    index: ChannelIVFIndex,
+    nprobe: int,
+    k: int,
+    clip_at_zero: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-query top-``k`` candidates within one channel's probed lists.
+
+    Lists are probed by *this* channel's geometry (query factors against its
+    centroids), but every probed list is scored with the full max-combined
+    similarity — one contiguous GEMM per channel over the list's ``vectors``
+    slabs.  Ranking by the combined score makes per-list top-``k`` lossless
+    relative to the retrieved union: a column this index retrieved that the
+    overall top-``k`` needs cannot be beaten by ``k`` others in its own list
+    without being beaten by ``k`` others overall.  Returns ``(cols, counts)``:
+    a per-row top-``k`` candidate table (``-1`` marks padding) and the
+    per-row count of *distinct* columns the probed lists retrieved (lists
+    within a channel are disjoint, so list sizes sum exactly).
+    """
+    queries = all_queries[channel_idx]
+    num_q = queries.shape[0]
+    probe = min(nprobe, index.nlist)
+    scores = queries @ index.centroids.T
+    if probe >= index.nlist:
+        probed = np.broadcast_to(np.arange(index.nlist), (num_q, index.nlist))
+    else:
+        probed = np.argpartition(-scores, probe - 1, axis=1)[:, :probe]
+    row_local = np.repeat(np.arange(num_q, dtype=np.int64), probed.shape[1])
+    uniq, starts, ends, rows_sorted = _group_by_list(row_local, probed.ravel())
+    out_vals = np.full((num_q, probe * k), -np.inf)
+    out_cols = np.full((num_q, probe * k), -1, dtype=np.int64)
+    fill = np.zeros(num_q, dtype=np.int64)
+    retrieved = np.zeros(num_q, dtype=np.int64)
+    for j, gs, ge in zip(uniq, starts, ends):
+        ls, le = int(index.indptr[j]), int(index.indptr[j + 1])
+        size = le - ls
+        if size == 0:
+            continue
+        rows_j = rows_sorted[gs:ge]
+        tile = all_queries[0][rows_j] @ index.vectors[0][ls:le].T
+        for c in range(1, len(index.vectors)):
+            np.maximum(tile, all_queries[c][rows_j] @ index.vectors[c][ls:le].T, out=tile)
+        if clip_at_zero:
+            np.maximum(tile, 0.0, out=tile)
+        kk = min(k, size)
+        if kk < size:
+            top = np.argpartition(-tile, kk - 1, axis=1)[:, :kk]
+            vals = np.take_along_axis(tile, top, axis=1)
+        else:
+            top = np.broadcast_to(np.arange(size), (rows_j.size, size))
+            vals = tile
+        cols = index.members[ls:le][top]
+        dest = fill[rows_j][:, None] * k + np.arange(kk)
+        out_vals[rows_j[:, None], dest] = vals
+        out_cols[rows_j[:, None], dest] = cols
+        fill[rows_j] += 1
+        retrieved[rows_j] += size
+    # reduce ≤ nprobe·k survivors to the per-index top-k by combined score
+    _, top_cols = canonical_topk(out_vals, out_cols, k)
+    return top_cols, retrieved
+
+
+def _dedupe_candidate_rows(cand: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted-unique per-row candidates of a padded table (``-1`` = padding).
+
+    Returns flat ``(cols, counts)`` in row-major order — the CSR form
+    :func:`rerank_pairs_topk` consumes.
+    """
+    sorted_cols = np.sort(cand, axis=1)  # padding sorts first
+    keep = sorted_cols >= 0
+    keep[:, 1:] &= sorted_cols[:, 1:] != sorted_cols[:, :-1]
+    return sorted_cols[keep], keep.sum(axis=1)
+
+
+def ann_topk(
+    channels: CosineChannels,
+    indexes: tuple[ChannelIVFIndex, ...],
+    row_ids: np.ndarray,
+    k: int,
+    nprobe: int,
+    block: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Approximate per-row top-``k``: probe per channel, union, exact re-rank.
+
+    Per channel, the probed inverted lists are scored with contiguous GEMMs
+    and reduced to a per-channel top-``k`` — lossless relative to the probed
+    candidate set, because a pair in the overall (max-combined) top-``k``
+    ranks at least as high in its best channel.  The cross-channel union
+    (≤ ``channels·k`` per row) is then re-ranked by
+    :func:`rerank_pairs_topk`, so every returned score is bit-identical to
+    the exact pair score; candidate selection is the only approximate step.
+    Rows whose probed lists retrieve fewer than ``k`` distinct candidates
+    deterministically escalate to an exact scan of that row, so the output
+    always has ``min(k, num_cols)`` columns.
+    """
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    num_cols = channels.num_cols
+    k = min(k, num_cols)
+    if k <= 0 or row_ids.size == 0:
+        return (
+            np.empty((row_ids.size, max(k, 0)), dtype=np.int64),
+            np.empty((row_ids.size, max(k, 0)), dtype=float),
+        )
+    out_i, out_v = [], []
+    # bound the per-block intermediates regardless of engine block size
+    for rs in _as_blocks(row_ids.size, min(block, 1024)):
+        batch = row_ids[rs]
+        num_local = batch.size
+        all_queries = tuple(pair.left[batch] for pair in channels.pairs)
+        col_parts = []
+        for channel_idx, index in enumerate(indexes):
+            cols_c, _ = _channel_probe_topk(
+                all_queries, channel_idx, index, nprobe, k, channels.clip_at_zero
+            )
+            col_parts.append(cols_c)
+        cols_flat, counts = _dedupe_candidate_rows(np.concatenate(col_parts, axis=1))
+        # a row is starved only if every channel retrieved < k columns — then
+        # nothing was truncated and the union count is the true retrieved count
+        short = np.nonzero(counts < k)[0]
+        if short.size:  # deterministic escalation: exact-scan the starved rows
+            exact_idx, _ = stream_topk(
+                channels.select_rows(batch[short]), k, block, 1
+            )
+            local = np.repeat(np.arange(num_local, dtype=np.int64), counts)
+            keys = np.concatenate(
+                [
+                    local * num_cols + cols_flat,
+                    (short[:, None] * num_cols + exact_idx).ravel(),
+                ]
+            )
+            keys = np.unique(keys)
+            cols_flat = keys % num_cols
+            counts = np.bincount(keys // num_cols, minlength=num_local)
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        top_i, top_v = rerank_pairs_topk(channels, batch, indptr, cols_flat, k)
+        out_i.append(top_i)
+        out_v.append(top_v)
+    return np.concatenate(out_i, axis=0), np.concatenate(out_v, axis=0)
+
+
+def ann_threshold_candidates(
+    channels: CosineChannels,
+    indexes: tuple[ChannelIVFIndex, ...],
+    threshold: float,
+    block: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All ``(row, col, value)`` with value ≥ threshold — **exact**, row-major.
+
+    Unlike top-k, threshold queries admit rigorous pruning: on unit vectors
+    ``dot(q, x) ≤ dot(q, c_j) + ‖x − c_j‖ ≤ dot(q, c_j) + radii[j]``, so a
+    list whose bound is below the threshold cannot contain a qualifying
+    column in *any* channel, and skipping it loses nothing.  Surviving lists
+    are scored with contiguous per-list GEMMs and pre-filtered with
+    ``_SCORE_SLACK`` of slack; only that thin boundary band is re-scored
+    with ``pair_values`` and filtered exactly, matching the streamed scan's
+    results for every knob setting (callers handle the implicit-zero channel
+    of ``clip_at_zero`` by falling back when ``threshold <= 0``).
+    """
+    num_rows, num_cols = channels.shape
+    rows_parts, cols_parts, vals_parts = [], [], []
+    for rs in _as_blocks(num_rows, min(block, 1024)):
+        batch = np.arange(rs.start, rs.stop, dtype=np.int64)
+        key_parts = []
+        for channel_idx, (pair, index) in enumerate(zip(channels.pairs, indexes)):
+            queries = pair.left[batch]
+            bound = queries @ index.centroids.T + index.radii[None, :]
+            row_local, lists = np.nonzero(bound >= threshold)
+            if row_local.size == 0:
+                continue
+            own_slab = index.vectors[channel_idx]
+            uniq, starts, ends, rows_sorted = _group_by_list(row_local, lists)
+            for j, gs, ge in zip(uniq, starts, ends):
+                ls, le = int(index.indptr[j]), int(index.indptr[j + 1])
+                if le == ls:
+                    continue
+                rows_j = rows_sorted[gs:ge]
+                tile = queries[rows_j] @ own_slab[ls:le].T
+                r, c = np.nonzero(tile >= threshold - _SCORE_SLACK)
+                if r.size:
+                    key_parts.append(rows_j[r] * num_cols + index.members[ls:le][c])
+        if not key_parts:
+            continue
+        keys = np.unique(np.concatenate(key_parts))
+        rows_local = keys // num_cols
+        cols = keys % num_cols
+        values = channels.pair_values(rows_local + rs.start, cols)
+        keep = values >= threshold
+        rows_parts.append(rows_local[keep] + rs.start)
+        cols_parts.append(cols[keep])
+        vals_parts.append(values[keep])
+    if not rows_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=float)
+    # per-block keys are sorted and blocks ascend, so this is row-major
+    return (
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts),
+    )
+
+
+def topk_recall(
+    exact_indices: np.ndarray,
+    ann_indices: np.ndarray,
+    exact_values: np.ndarray | None = None,
+    ann_values: np.ndarray | None = None,
+) -> float:
+    """Top-``k`` recall of an ANN result against the exact one.
+
+    Without values this is the classic index-set intersection fraction.
+    With values it counts every ANN entry whose score reaches the row's
+    exact ``k``-th value — the tie-robust definition: structurally identical
+    columns produce *bitwise-equal* similarities here, and inside such a tie
+    class the exact kernel's pick is an arbitrary (tile-layout dependent)
+    representative set, so retrieving a different same-valued member is a
+    hit, not a miss.  Both definitions coincide when the top-``k`` values
+    are distinct.  The value comparison carries ``_SCORE_SLACK`` of
+    tolerance: the exact reference values come from the tile kernel while
+    ANN values come from ``pair_values``, and the two round differently in
+    the last ulp.
+    """
+    if exact_indices.size == 0:
+        return 1.0
+    if exact_values is not None and ann_values is not None:
+        kth = exact_values[:, -1][:, None]
+        return float(np.sum(ann_values >= kth - _SCORE_SLACK)) / exact_indices.size
+    hits = sum(
+        np.intersect1d(exact_row, ann_row).size
+        for exact_row, ann_row in zip(exact_indices, ann_indices)
+    )
+    return hits / exact_indices.size
+
+
+@dataclass(frozen=True)
+class AnnSearcher:
+    """A frozen, self-contained ANN top-k searcher for serving views.
+
+    Captures the channel factors, the index set and the calibrated probe
+    width at export time, so a serving view keeps answering from the state
+    it was frozen with even after the live engine's token moves on.
+    """
+
+    channels: CosineChannels
+    indexes: tuple[ChannelIVFIndex, ...]
+    nprobe: int
+    block: int
+
+    def top_k(self, row_ids: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        return ann_topk(self.channels, self.indexes, row_ids, k, self.nprobe, self.block)
+
+
+# ---------------------------------------------------------------- the backend
+class AnnBackend(StreamedChannelQueries, SimilarityBackend):
+    """IVF-indexed similarity backend with exact re-rank and exact fallback.
+
+    Per element kind and query direction the backend keeps one index set,
+    cached under the engine's version token — a parameter step, snapshot
+    refresh or landmark update invalidates it exactly like every other
+    engine cache, so training loops never probe a stale index.  Everything
+    the index cannot accelerate (slab queries, ``stream_blocks``, small
+    similarities below ``min_index_cols``) inherits the exact streamed
+    kernels from :class:`StreamedChannelQueries`.
+    """
+
+    name = "ann"
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self.params: AnnParams = resolve_ann_params(getattr(engine, "ann_params", None))
+        # (kind, transposed) -> (token, (indexes, nprobe) | None); None means
+        # "exact fallback for this token" and is cached too (skip rebuilds)
+        self._index_cache: dict[tuple, tuple[tuple, tuple | None]] = {}
+
+    # -- streamed substrate --------------------------------------------------
+    def _channels(self, kind: "ElementKind") -> CosineChannels:
+        return self.engine.channels(kind)
+
+    @property
+    def _block(self) -> int:
+        return self.engine.block_size
+
+    @property
+    def _workers(self) -> int:
+        return self.engine.workers
+
+    def _channels_cache_token(self, kind: "ElementKind"):
+        return self.engine._token_for(kind)
+
+    # -- index lifecycle -----------------------------------------------------
+    def _index_for(self, kind: "ElementKind", transposed: bool = False):
+        """The direction's ``(indexes, nprobe)`` (or None), token-cached."""
+        token = self.engine._token_for(kind)
+        key = (kind, transposed)
+        entry = self._index_cache.get(key)
+        if entry is not None and entry[0] == token:
+            return entry[1]
+        payload = self._build_index(kind, transposed)
+        self._index_cache[key] = (token, payload)
+        return payload
+
+    def _direction_channels(self, kind: "ElementKind", transposed: bool) -> CosineChannels:
+        return self._transposed_channels(kind) if transposed else self._channels(kind)
+
+    def _effective_nlist(self, num_cols: int) -> int:
+        nlist = self.params.nlist or max(1, int(round(math.sqrt(num_cols))))
+        return min(nlist, num_cols)
+
+    def _landmark_centroids(self, kind: "ElementKind", transposed: bool, pair: ChannelPair):
+        """Initial centroids from the landmark entities' factor rows."""
+        from repro.kg.elements import ElementKind
+
+        if kind is not ElementKind.ENTITY:
+            return None
+        landmarks = getattr(self.engine.model, "_landmarks", None)
+        if landmarks is None or landmarks.size == 0:
+            return None
+        side = np.unique(landmarks[:, 0 if transposed else 1])
+        side = side[side < pair.right.shape[0]]
+        return pair.right[side] if side.size else None
+
+    def _build_index(self, kind: "ElementKind", transposed: bool):
+        params = self.params
+        channels = self._direction_channels(kind, transposed)
+        num_cols = channels.num_cols
+        if not channels.pairs or num_cols < params.min_index_cols:
+            return None
+        nlist = self._effective_nlist(num_cols)
+        if params.nprobe >= nlist:
+            return None  # probing everything = a slower full scan
+        slab_rights = tuple(pair.right for pair in channels.pairs)
+        indexes = tuple(
+            build_channel_index(
+                pair.right,
+                nlist,
+                params.kmeans_iters,
+                seed=[params.seed, channel_idx, int(transposed)],
+                initial=self._landmark_centroids(kind, transposed, pair),
+                slab_rights=slab_rights,
+            )
+            for channel_idx, pair in enumerate(channels.pairs)
+        )
+        nprobe = self._calibrate(channels, indexes, nlist)
+        if nprobe is None:
+            return None
+        return indexes, nprobe
+
+    def _calibrate(self, channels, indexes, nlist: int) -> int | None:
+        """Smallest power-of-two multiple of ``nprobe`` meeting ``min_recall``.
+
+        Sampled rows are fixed (evenly spaced), the exact reference is one
+        streamed top-k over the sample, and probing doubles until the sampled
+        recall clears the floor.  Returns None when only a full probe would —
+        the caller then serves the exact streamed path instead.
+        """
+        params = self.params
+        num_rows = channels.num_rows
+        take = min(params.calibration_rows, num_rows)
+        sample = np.arange(num_rows, dtype=np.int64)[:: max(1, num_rows // take)][:take]
+        k = min(_CALIBRATION_K, channels.num_cols)
+        exact_idx, exact_val = stream_topk(
+            channels.select_rows(sample), k, self._block, self._workers
+        )
+        nprobe = params.nprobe
+        while nprobe < nlist:
+            approx_idx, approx_val = ann_topk(
+                channels, indexes, sample, k, nprobe, self._block
+            )
+            if topk_recall(exact_idx, approx_idx, exact_val, approx_val) >= params.min_recall:
+                return nprobe
+            nprobe *= 2
+        return None
+
+    # -- accelerated queries ---------------------------------------------------
+    def query_top_k(
+        self, kind: "ElementKind", row_ids: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(indices, values)`` for a row subset (index-accelerated)."""
+        payload = self._index_for(kind)
+        channels = self._channels(kind)
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if payload is None:
+            return stream_topk(
+                channels.select_rows(row_ids), min(k, channels.num_cols),
+                self._block, self._workers,
+            )
+        indexes, nprobe = payload
+        return ann_topk(channels, indexes, row_ids, k, nprobe, self._block)
+
+    def top_k_table(self, kind: "ElementKind", k: int) -> TopKTable:
+        left = self._index_for(kind, transposed=False)
+        right = self._index_for(kind, transposed=True)
+        if left is None and right is None:
+            return super().top_k_table(kind, k)
+        channels = self._channels(kind)
+        transposed = self._transposed_channels(kind)
+        if left is None:
+            left_idx, left_val = stream_topk(channels, k, self._block, self._workers)
+        else:
+            left_idx, left_val = ann_topk(
+                channels, left[0], np.arange(channels.num_rows), k, left[1], self._block
+            )
+        if right is None:
+            right_idx, right_val = stream_topk(transposed, k, self._block, self._workers)
+        else:
+            right_idx, right_val = ann_topk(
+                transposed, right[0], np.arange(transposed.num_rows), k,
+                right[1], self._block,
+            )
+        return TopKTable(left_idx, left_val, right_idx, right_val)
+
+    def row_max(self, kind: "ElementKind") -> np.ndarray:
+        payload = self._index_for(kind)
+        if payload is None:
+            return super().row_max(kind)
+        channels = self._channels(kind)
+        indexes, nprobe = payload
+        _, values = ann_topk(
+            channels, indexes, np.arange(channels.num_rows), 1, nprobe, self._block
+        )
+        return values[:, 0]
+
+    def col_max(self, kind: "ElementKind") -> np.ndarray:
+        payload = self._index_for(kind, transposed=True)
+        if payload is None:
+            return super().col_max(kind)
+        transposed = self._transposed_channels(kind)
+        indexes, nprobe = payload
+        _, values = ann_topk(
+            transposed, indexes, np.arange(transposed.num_rows), 1, nprobe, self._block
+        )
+        return values[:, 0]
+
+    def row_col_max(self, kind: "ElementKind") -> tuple[np.ndarray, np.ndarray]:
+        if self._index_for(kind) is None and self._index_for(kind, True) is None:
+            return super().row_col_max(kind)  # one fused exact sweep
+        return self.row_max(kind), self.col_max(kind)
+
+    def threshold_candidates(
+        self, kind: "ElementKind", threshold: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        payload = self._index_for(kind)
+        channels = self._channels(kind)
+        if payload is None or (channels.clip_at_zero and threshold <= 0):
+            # clip_at_zero adds an implicit all-zero channel: at threshold<=0
+            # every pair qualifies and pruning cannot help
+            return super().threshold_candidates(kind, threshold)
+        return ann_threshold_candidates(channels, payload[0], threshold, self._block)
+
+    def mutual_top_n_pairs(
+        self, left_factors: np.ndarray, right_factors: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The pool's mutual top-N filter with ephemeral per-direction indexes."""
+        channels = CosineChannels([ChannelPair.from_raw(left_factors, right_factors)])
+        top_left = self._ephemeral_topn(channels, n, seed_tag=0)
+        top_right = self._ephemeral_topn(channels.transpose(), n, seed_tag=1)
+        return mutual_pairs_from_topn(top_left, top_right, self._block)
+
+    def _ephemeral_topn(self, channels: CosineChannels, n: int, seed_tag: int) -> np.ndarray:
+        params = self.params
+        num_cols = channels.num_cols
+        if num_cols < params.min_index_cols:
+            return stream_topk(channels, n, self._block, self._workers)[0]
+        nlist = self._effective_nlist(num_cols)
+        if params.nprobe >= nlist:
+            return stream_topk(channels, n, self._block, self._workers)[0]
+        indexes = tuple(
+            build_channel_index(
+                pair.right, nlist, params.kmeans_iters,
+                seed=[params.seed, channel_idx, 2 + seed_tag],
+            )
+            for channel_idx, pair in enumerate(channels.pairs)
+        )
+        nprobe = self._calibrate(channels, indexes, nlist)
+        if nprobe is None:
+            return stream_topk(channels, n, self._block, self._workers)[0]
+        return ann_topk(
+            channels, indexes, np.arange(channels.num_rows), n, nprobe, self._block
+        )[0]
+
+    # -- serving -------------------------------------------------------------
+    def view(self, kind: "ElementKind") -> SimilarityView:
+        payload = self._index_for(kind)
+        channels = self._channels(kind)
+        if payload is None:
+            return StreamedView(channels, block_size=self._block)
+        indexes, nprobe = payload
+        searcher = AnnSearcher(channels, indexes, nprobe, self._block)
+        return AnnView(channels, block_size=self._block, core_search=searcher)

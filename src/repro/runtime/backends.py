@@ -1,4 +1,4 @@
-"""Pluggable similarity backends: dense (cached N×M) and sharded (streaming).
+"""Pluggable similarity backends: dense (cached N×M), sharded, and ANN.
 
 The :class:`~repro.alignment.similarity.SimilarityEngine` delegates every
 query to one of two backends behind a common, *narrow* surface — ``rows``,
@@ -17,6 +17,11 @@ needs to know whether the full matrix exists:
   query path.  Row shards may be fanned out over a thread pool — results are
   deterministic for any worker count because each row's merge happens
   entirely within its own shard.
+* :class:`~repro.runtime.ann.AnnBackend` — sub-linear candidate retrieval:
+  one inverted-list index per cosine channel over the column factors, exact
+  re-rank of the candidate union (returned scores are bit-identical to exact
+  pair scores; only recall depends on the ``nprobe`` knob), exact streamed
+  fallback below its indexing threshold.
 
 Backend selection: ``DAAKGConfig.similarity_backend`` chooses per pipeline,
 and the ``REPRO_SIMILARITY_BACKEND`` environment variable overrides it
@@ -36,8 +41,11 @@ import numpy as np
 from repro.runtime.streaming import (
     CosineChannels,
     _as_blocks,
+    collect_threshold_candidates,
+    mutual_top_n,
     stream_row_col_max,
     stream_row_max,
+    stream_threshold_candidates,
     stream_topk,
 )
 from repro.runtime.views import DenseView, SimilarityView, StreamedView
@@ -47,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle with similarity.py
     from repro.alignment.similarity import SimilarityEngine
     from repro.kg.elements import ElementKind
 
-BACKEND_NAMES = ("dense", "sharded")
+BACKEND_NAMES = ("dense", "sharded", "ann")
 BACKEND_ENV = "REPRO_SIMILARITY_BACKEND"
 WORKERS_ENV = "REPRO_SIMILARITY_WORKERS"
 
@@ -129,6 +137,20 @@ class SimilarityBackend:
         """Both directions at once (one fused sweep on streaming backends)."""
         return self.row_max(kind), self.col_max(kind)
 
+    def threshold_candidates(
+        self, kind: "ElementKind", threshold: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All ``(rows, cols, values)`` with value ≥ threshold, row-major."""
+        return collect_threshold_candidates(self.stream_blocks(kind), threshold)
+
+    def mutual_top_n_pairs(
+        self, left_factors: np.ndarray, right_factors: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mutually-top-``n`` cosine pairs between two raw factor sets."""
+        return mutual_top_n(
+            left_factors, right_factors, n, self.engine.block_size, self.engine.workers
+        )
+
     def view(self, kind: "ElementKind") -> SimilarityView:
         """A frozen, appendable serving view of the current similarity."""
         raise NotImplementedError
@@ -194,6 +216,11 @@ class DenseBackend(SimilarityBackend):
             return np.zeros(matrix.shape[1])
         return matrix.max(axis=0)
 
+    def threshold_candidates(self, kind, threshold):
+        # same row-major (row, col) order as the streamed collector
+        rows, cols = np.nonzero(self.matrix(kind) >= threshold)
+        return rows, cols, self.matrix(kind)[rows, cols]
+
     def view(self, kind) -> SimilarityView:
         # serving appends fold-in rows/columns, so never alias the cache
         return DenseView(self.matrix(kind).copy())
@@ -219,6 +246,31 @@ class StreamedChannelQueries:
     @property
     def _workers(self) -> int:
         raise NotImplementedError
+
+    def _channels_cache_token(self, kind: "ElementKind"):
+        """Cache token for per-kind derived channel state (None = immutable).
+
+        Live backends override this with the engine's version token so a
+        parameter/snapshot/landmark bump invalidates derived state; frozen
+        holders (the campaign merge state) keep the immutable default.
+        """
+        return None
+
+    def _transposed_channels(self, kind: "ElementKind") -> CosineChannels:
+        """The kind's column-side channels, cached instead of rebuilt per query.
+
+        Every column-direction query (``col_max``, the right half of
+        ``top_k_table``) previously called ``channels.transpose()`` afresh;
+        one token-checked cache entry per kind serves them all.
+        """
+        cache = self.__dict__.setdefault("_transposed_cache", {})
+        token = self._channels_cache_token(kind)
+        entry = cache.get(kind)
+        if entry is not None and entry[0] == token:
+            return entry[1]
+        transposed = self._channels(kind).transpose()
+        cache[kind] = (token, transposed)
+        return transposed
 
     def compute_full(self, kind) -> np.ndarray:
         channels = self._channels(kind)
@@ -264,17 +316,27 @@ class StreamedChannelQueries:
     def top_k_table(self, kind, k: int) -> TopKTable:
         channels = self._channels(kind)
         left_idx, left_val = stream_topk(channels, k, self._block, self._workers)
-        right_idx, right_val = stream_topk(channels.transpose(), k, self._block, self._workers)
+        right_idx, right_val = stream_topk(
+            self._transposed_channels(kind), k, self._block, self._workers
+        )
         return TopKTable(left_idx, left_val, right_idx, right_val)
 
     def row_max(self, kind) -> np.ndarray:
         return stream_row_max(self._channels(kind), self._block, self._workers)
 
     def col_max(self, kind) -> np.ndarray:
-        return stream_row_max(self._channels(kind).transpose(), self._block, self._workers)
+        return stream_row_max(self._transposed_channels(kind), self._block, self._workers)
 
     def row_col_max(self, kind) -> tuple[np.ndarray, np.ndarray]:
         return stream_row_col_max(self._channels(kind), self._block, self._workers)
+
+    def threshold_candidates(self, kind, threshold):
+        return stream_threshold_candidates(
+            self._channels(kind), threshold, self._block, self._workers
+        )
+
+    def mutual_top_n_pairs(self, left_factors, right_factors, n):
+        return mutual_top_n(left_factors, right_factors, n, self._block, self._workers)
 
 
 class ShardedBackend(StreamedChannelQueries, SimilarityBackend):
@@ -298,6 +360,9 @@ class ShardedBackend(StreamedChannelQueries, SimilarityBackend):
     def _workers(self) -> int:
         return self.engine.workers
 
+    def _channels_cache_token(self, kind: "ElementKind"):
+        return self.engine._token_for(kind)
+
     def view(self, kind) -> SimilarityView:
         # channels hold freshly-normalised factor copies; StreamedView never
         # mutates them (fold-ins land in tail arrays), so sharing is safe
@@ -309,4 +374,8 @@ def create_backend(engine: "SimilarityEngine", name: str) -> SimilarityBackend:
         return DenseBackend(engine)
     if name == "sharded":
         return ShardedBackend(engine)
+    if name == "ann":
+        from repro.runtime.ann import AnnBackend  # lazy: ann imports this module
+
+        return AnnBackend(engine)
     raise ValueError(f"unknown similarity backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -1,0 +1,401 @@
+"""ANN backend: knobs, index determinism, exactness contracts, and serving.
+
+The contracts under test mirror the module docstring of
+:mod:`repro.runtime.ann`:
+
+* knobs resolve env-over-config per field, mirroring the backend selector;
+* the per-channel IVF indexes are a pure function of (factors, knobs, seed);
+* every returned score is bit-identical to ``CosineChannels.pair_values`` —
+  candidate *selection* is the only approximate step;
+* recall is value-aware: structurally identical entities tie bitwise, and
+  any same-valued member of a tie class is a correct top-k answer;
+* threshold candidates and exact-fallback queries match the streamed
+  kernels exactly at the same block size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alignment import SimilarityEngine
+from repro.alignment.model import JointAlignmentModel
+from repro.datasets import make_large_world_pair
+from repro.embedding import TransE
+from repro.kg.elements import ElementKind
+from repro.runtime import (
+    AnnParams,
+    ChannelPair,
+    CosineChannels,
+    build_channel_index,
+    create_backend,
+    mutual_top_n,
+    resolve_ann_params,
+    stream_threshold_candidates,
+    stream_topk,
+    topk_recall,
+)
+from repro.runtime.ann import (
+    ANN_MIN_RECALL_ENV,
+    ANN_NLIST_ENV,
+    ANN_NPROBE_ENV,
+    AnnSearcher,
+    ann_threshold_candidates,
+    ann_topk,
+)
+from repro.runtime.views import AnnView
+
+ATOL = 1e-12
+NUM_CENTERS = 12
+
+
+def clustered_channels(seed=0, n=80, m=400, d=8, num_channels=2, clip_at_zero=False):
+    """Mixture-of-Gaussians factors: the geometry IVF indexes exploit."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(NUM_CENTERS, d))
+    pairs = []
+    for _ in range(num_channels):
+        left = centers[rng.integers(0, NUM_CENTERS, size=n)]
+        right = centers[rng.integers(0, NUM_CENTERS, size=m)]
+        left = left + 0.2 * rng.normal(size=(n, d))
+        right = right + 0.2 * rng.normal(size=(m, d))
+        pairs.append(ChannelPair.from_raw(left, right))
+    return CosineChannels(pairs, clip_at_zero=clip_at_zero)
+
+
+def build_indexes(channels, nlist, seed=0, iters=6):
+    slabs = tuple(pair.right for pair in channels.pairs)
+    return tuple(
+        build_channel_index(
+            pair.right, nlist, iters, seed=[seed, ci, 0], slab_rights=slabs
+        )
+        for ci, pair in enumerate(channels.pairs)
+    )
+
+
+def dense_of(channels: CosineChannels) -> np.ndarray:
+    out = None
+    for pair in channels.pairs:
+        tile = pair.left @ pair.right.T
+        out = tile if out is None else np.maximum(out, tile)
+    if channels.clip_at_zero:
+        out = np.maximum(out, 0.0)
+    return out
+
+
+def gap_safe_threshold(matrix: np.ndarray, quantile: float) -> float:
+    """A threshold sitting in a wide gap between attained similarity values.
+
+    Exact and pruned threshold scans may disagree on pairs within an ulp of
+    the cut; picking the midpoint of a wide inter-value gap makes the
+    candidate *set* unambiguous.
+    """
+    values = np.unique(matrix)
+    pivot = int(quantile * (values.size - 1))
+    gaps = np.diff(values[pivot : pivot + 64])
+    best = int(np.argmax(gaps))
+    assert gaps[best] > 1e-6, "fixture produced no usable value gap"
+    return float((values[pivot + best] + values[pivot + best + 1]) / 2.0)
+
+
+# ------------------------------------------------------------------- knobs
+class TestAnnParams:
+    def test_defaults(self):
+        params = AnnParams()
+        assert params.nlist == 0 and params.nprobe == 8
+        assert params.min_recall == 0.95 and params.min_index_cols == 1024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nlist": -1},
+            {"nprobe": 0},
+            {"min_recall": 0.0},
+            {"min_recall": 1.5},
+            {"min_index_cols": 0},
+            {"kmeans_iters": 0},
+            {"calibration_rows": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AnnParams(**kwargs)
+
+    def test_env_overrides_per_field(self, monkeypatch):
+        configured = AnnParams(nlist=32, nprobe=4, min_recall=0.9)
+        # a single env var overrides only its own field
+        monkeypatch.setenv(ANN_NPROBE_ENV, "16")
+        resolved = resolve_ann_params(configured)
+        assert resolved.nprobe == 16
+        assert resolved.nlist == 32 and resolved.min_recall == 0.9
+        # every field has an env override, and env beats config
+        monkeypatch.setenv(ANN_NLIST_ENV, "64")
+        monkeypatch.setenv(ANN_MIN_RECALL_ENV, "0.8")
+        resolved = resolve_ann_params(configured)
+        assert (resolved.nlist, resolved.nprobe, resolved.min_recall) == (64, 16, 0.8)
+        # without env vars the configured values stand, and None means defaults
+        monkeypatch.delenv(ANN_NLIST_ENV)
+        monkeypatch.delenv(ANN_NPROBE_ENV)
+        monkeypatch.delenv(ANN_MIN_RECALL_ENV)
+        assert resolve_ann_params(configured) == configured
+        assert resolve_ann_params(None) == AnnParams()
+
+
+# ------------------------------------------------------------- index build
+class TestIndexBuild:
+    def test_deterministic(self):
+        channels = clustered_channels(seed=3, num_channels=2)
+        first = build_indexes(channels, nlist=16, seed=7)
+        second = build_indexes(channels, nlist=16, seed=7)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.centroids, b.centroids)
+            np.testing.assert_array_equal(a.radii, b.radii)
+            np.testing.assert_array_equal(a.indptr, b.indptr)
+            np.testing.assert_array_equal(a.members, b.members)
+            for sa, sb in zip(a.vectors, b.vectors):
+                np.testing.assert_array_equal(sa, sb)
+
+    def test_members_partition_the_columns(self):
+        channels = clustered_channels(seed=4, num_channels=2, m=233)
+        for index in build_indexes(channels, nlist=10):
+            assert index.indptr[0] == 0 and index.indptr[-1] == 233
+            assert np.all(np.diff(index.indptr) >= 0)
+            np.testing.assert_array_equal(np.sort(index.members), np.arange(233))
+            # every channel's slab is that channel's factors in member order
+            for slab, pair in zip(index.vectors, channels.pairs):
+                np.testing.assert_array_equal(slab, pair.right[index.members])
+
+
+# ---------------------------------------------------------- query kernels
+class TestAnnKernels:
+    NLIST = 20
+    K = 10
+    BLOCK = 64
+
+    @pytest.fixture(scope="class", params=[False, True], ids=["plain", "clip"])
+    def setup(self, request):
+        channels = clustered_channels(seed=11, clip_at_zero=request.param)
+        indexes = build_indexes(channels, self.NLIST)
+        rows = np.arange(channels.num_rows, dtype=np.int64)
+        exact = stream_topk(channels, self.K, self.BLOCK, 1)
+        return channels, indexes, rows, exact
+
+    def test_full_probe_has_perfect_value_recall(self, setup):
+        channels, indexes, rows, (exact_idx, exact_val) = setup
+        ann_idx, ann_val = ann_topk(
+            channels, indexes, rows, self.K, self.NLIST, self.BLOCK
+        )
+        assert topk_recall(exact_idx, ann_idx, exact_val, ann_val) == 1.0
+
+    def test_returned_values_are_pair_exact(self, setup):
+        channels, indexes, rows, _ = setup
+        ann_idx, ann_val = ann_topk(channels, indexes, rows, self.K, 4, self.BLOCK)
+        assert np.array_equal(
+            ann_val.ravel(),
+            channels.pair_values(np.repeat(rows, self.K), ann_idx.ravel()),
+        )
+        # canonical row order: descending values
+        assert np.all(np.diff(ann_val, axis=1) <= 0)
+
+    def test_partial_probe_recall_on_clustered_data(self, setup):
+        channels, indexes, rows, (exact_idx, exact_val) = setup
+        ann_idx, ann_val = ann_topk(channels, indexes, rows, self.K, 4, self.BLOCK)
+        assert topk_recall(exact_idx, ann_idx, exact_val, ann_val) >= 0.9
+
+    def test_shortfall_escalation_completes_starved_rows(self, setup):
+        # k = full width with a single probed list starves every row; the
+        # exact escalation must still return the complete column permutation
+        channels, indexes, rows, _ = setup
+        m = channels.num_cols
+        ann_idx, ann_val = ann_topk(channels, indexes, rows, m, 1, self.BLOCK)
+        assert ann_idx.shape == (rows.size, m)
+        np.testing.assert_array_equal(
+            np.sort(ann_idx, axis=1), np.broadcast_to(np.arange(m), ann_idx.shape)
+        )
+        assert np.array_equal(
+            ann_val.ravel(),
+            channels.pair_values(np.repeat(rows, m), ann_idx.ravel()),
+        )
+
+    def test_threshold_candidates_match_streamed_scan(self, setup):
+        channels, indexes, rows, _ = setup
+        threshold = gap_safe_threshold(dense_of(channels), 0.98)
+        er, ec, ev = stream_threshold_candidates(channels, threshold, self.BLOCK)
+        ar, ac, av = ann_threshold_candidates(channels, indexes, threshold, self.BLOCK)
+        assert er.size > 0  # the fixture must actually exercise the scan
+        np.testing.assert_array_equal(ar, er)
+        np.testing.assert_array_equal(ac, ec)
+        np.testing.assert_allclose(av, ev, rtol=0, atol=ATOL)
+        # ANN threshold values are pair-exact by construction
+        assert np.array_equal(av, channels.pair_values(ar, ac))
+
+    def test_searcher_is_frozen_and_consistent(self, setup):
+        channels, indexes, rows, _ = setup
+        searcher = AnnSearcher(channels, indexes, 4, self.BLOCK)
+        idx1, val1 = searcher.top_k(rows[:9], 5)
+        idx2, val2 = searcher.top_k(rows[:9], 5)
+        np.testing.assert_array_equal(idx1, idx2)
+        np.testing.assert_array_equal(val1, val2)
+
+
+class TestTopkRecall:
+    def test_classic_index_mode(self):
+        exact = np.array([[0, 1], [2, 3]])
+        approx = np.array([[1, 5], [2, 3]])
+        assert topk_recall(exact, approx) == 0.75
+
+    def test_value_aware_mode_accepts_tie_swaps(self):
+        # column 2 ties column 1 bitwise: swapping them is a correct answer
+        exact_idx = np.array([[0, 1]])
+        exact_val = np.array([[1.0, 0.5]])
+        ann_idx = np.array([[0, 2]])
+        assert topk_recall(exact_idx, ann_idx) == 0.5  # index mode: a miss
+        assert topk_recall(exact_idx, ann_idx, exact_val, np.array([[1.0, 0.5]])) == 1.0
+        # a genuinely smaller value still counts as a miss
+        assert topk_recall(exact_idx, ann_idx, exact_val, np.array([[1.0, 0.4]])) == 0.5
+
+
+# ------------------------------------------------------------ backend level
+NUM_ENTITIES = 704
+EMBED_DIM = 16
+BLOCK = 256
+INDEXED_PARAMS = AnnParams(min_index_cols=64, nprobe=4, min_recall=0.9)
+
+
+def clustered_weights(num: int, rng: np.random.Generator) -> np.ndarray:
+    centers = rng.normal(size=(NUM_CENTERS, EMBED_DIM))
+    assign = rng.integers(0, NUM_CENTERS, size=num)
+    return centers[assign] + 0.2 * rng.normal(size=(num, EMBED_DIM))
+
+
+def ann_engine(model, params: AnnParams) -> SimilarityEngine:
+    engine = SimilarityEngine(model, block_size=BLOCK)
+    engine.workers = 1
+    engine.ann_params = params
+    engine.backend = create_backend(engine, "ann")
+    return engine
+
+
+@pytest.fixture(scope="module")
+def clustered_model():
+    pair = make_large_world_pair(NUM_ENTITIES, seed=3)
+    rng = np.random.default_rng(5)
+    model1 = TransE(pair.kg1, dim=EMBED_DIM, rng=0)
+    model2 = TransE(pair.kg2, dim=EMBED_DIM, rng=1)
+    model1.entity_embeddings.weight.data[:] = clustered_weights(pair.kg1.num_entities, rng)
+    model2.entity_embeddings.weight.data[:] = clustered_weights(pair.kg2.num_entities, rng)
+    model1.mark_parameters_mutated()
+    model2.mark_parameters_mutated()
+    model = JointAlignmentModel(pair, model1, model2, rng=0)
+    engine = ann_engine(model, INDEXED_PARAMS)
+    model.similarity = engine
+    model.set_landmarks(pair.entity_match_ids()[:64])
+    return model, engine
+
+
+class TestAnnBackend:
+    def test_indexes_and_stays_pair_exact(self, clustered_model):
+        _, engine = clustered_model
+        payload = engine.backend._index_for(ElementKind.ENTITY)
+        assert payload is not None, "clustered embeddings should always index"
+        channels = engine.channels(ElementKind.ENTITY)
+        rows = np.linspace(0, channels.num_rows - 1, 64).astype(np.int64)
+        ann_idx, ann_val = engine.backend.query_top_k(ElementKind.ENTITY, rows, 10)
+        assert np.array_equal(
+            ann_val.ravel(),
+            channels.pair_values(np.repeat(rows, 10), ann_idx.ravel()),
+        )
+        exact_idx, exact_val = stream_topk(channels.select_rows(rows), 10, BLOCK, 1)
+        recall = topk_recall(exact_idx, ann_idx, exact_val, ann_val)
+        assert recall >= 0.85  # calibration pinned the sampled floor at 0.9
+
+    def test_index_cache_invalidates_on_landmark_update(self, clustered_model):
+        model, engine = clustered_model
+        previous = model._landmarks
+        first = engine.backend._index_for(ElementKind.ENTITY)
+        assert engine.backend._index_for(ElementKind.ENTITY) is first  # token-cached
+        try:
+            model.set_landmarks(model.pair.entity_match_ids()[:32])
+            rebuilt = engine.backend._index_for(ElementKind.ENTITY)
+            assert rebuilt is not first
+            # the rebuilt index keeps the contracts: pair-exact scores at
+            # the calibrated recall floor against the *new* channel state
+            assert rebuilt is not None
+            channels = engine.channels(ElementKind.ENTITY)
+            rows = np.arange(0, channels.num_rows, 11, dtype=np.int64)
+            ann_idx, ann_val = engine.backend.query_top_k(ElementKind.ENTITY, rows, 5)
+            assert np.array_equal(
+                ann_val.ravel(),
+                channels.pair_values(np.repeat(rows, 5), ann_idx.ravel()),
+            )
+            exact_idx, exact_val = stream_topk(channels.select_rows(rows), 5, BLOCK, 1)
+            assert topk_recall(exact_idx, ann_idx, exact_val, ann_val) >= 0.85
+        finally:
+            model.set_landmarks(previous)
+
+    def test_exact_fallback_matches_sharded_bitwise(self, clustered_model):
+        model, _ = clustered_model
+        # default knobs: min_index_cols exceeds this catalogue, so every
+        # query must be served by the inherited exact streamed kernels
+        fallback = ann_engine(model, AnnParams())
+        assert fallback.backend._index_for(ElementKind.ENTITY) is None
+        sharded = SimilarityEngine(model, block_size=BLOCK)
+        sharded.backend = create_backend(sharded, "sharded")
+        f_table = fallback.top_k_table(ElementKind.ENTITY, 5)
+        s_table = sharded.top_k_table(ElementKind.ENTITY, 5)
+        np.testing.assert_array_equal(f_table.left_indices, s_table.left_indices)
+        np.testing.assert_array_equal(f_table.left_values, s_table.left_values)
+        np.testing.assert_array_equal(f_table.right_indices, s_table.right_indices)
+        np.testing.assert_array_equal(f_table.right_values, s_table.right_values)
+
+    def test_threshold_candidates_match_sharded(self, clustered_model):
+        model, engine = clustered_model
+        channels = engine.channels(ElementKind.ENTITY)
+        threshold = gap_safe_threshold(dense_of(channels), 0.995)
+        sharded = SimilarityEngine(model, block_size=BLOCK)
+        sharded.backend = create_backend(sharded, "sharded")
+        ar, ac, av = engine.backend.threshold_candidates(ElementKind.ENTITY, threshold)
+        sr, sc, sv = sharded.backend.threshold_candidates(ElementKind.ENTITY, threshold)
+        assert sr.size > 0
+        np.testing.assert_array_equal(ar, sr)
+        np.testing.assert_array_equal(ac, sc)
+        np.testing.assert_allclose(av, sv, rtol=0, atol=ATOL)
+
+    def test_mutual_top_n_small_factors_fall_back_exactly(self, clustered_model):
+        _, engine = clustered_model
+        rng = np.random.default_rng(9)
+        a, b = rng.normal(size=(30, 6)), rng.normal(size=(25, 6))  # below min_index_cols
+        lefts, rights = engine.backend.mutual_top_n_pairs(a, b, 4)
+        el, er = mutual_top_n(a, b, 4, block=BLOCK)
+        np.testing.assert_array_equal(lefts, el)
+        np.testing.assert_array_equal(rights, er)
+
+    def test_mutual_top_n_indexed_is_deterministic(self, clustered_model):
+        _, engine = clustered_model
+        rng = np.random.default_rng(13)
+        centers = rng.normal(size=(NUM_CENTERS, 6))
+        a = centers[rng.integers(0, NUM_CENTERS, size=200)] + 0.2 * rng.normal(size=(200, 6))
+        b = centers[rng.integers(0, NUM_CENTERS, size=180)] + 0.2 * rng.normal(size=(180, 6))
+        first = engine.backend.mutual_top_n_pairs(a, b, 5)
+        second = engine.backend.mutual_top_n_pairs(a, b, 5)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_view_serves_ann_core_with_exact_fold_in(self, clustered_model):
+        _, engine = clustered_model
+        view = engine.backend.view(ElementKind.ENTITY)
+        assert isinstance(view, AnnView)
+        probe = np.array([0, 3, 7], dtype=np.int64)
+        base_idx, base_val = view.top_k_for_rows(probe, 4)
+        # a folded column beating every score must rank first, exactly
+        folded = view.append_col(np.full(view.num_rows, 2.0))
+        idx, val = folded.top_k_for_rows(probe, 4)
+        assert np.all(idx[:, 0] == view.num_cols)
+        np.testing.assert_array_equal(val[:, 0], np.full(probe.size, 2.0))
+        np.testing.assert_array_equal(idx[:, 1:], base_idx[:, :3])
+        np.testing.assert_array_equal(val[:, 1:], base_val[:, :3])
+        # an appended row is dense and therefore served exactly
+        tail_row = np.linspace(0.0, 1.0, folded.num_cols)
+        with_row = folded.append_row(tail_row)
+        r_idx, r_val = with_row.top_k_for_rows(np.array([view.num_rows]), 3)
+        np.testing.assert_array_equal(r_val[0], np.sort(tail_row)[::-1][:3])

@@ -137,6 +137,63 @@ class TestStreamingKernels:
         rows = np.arange(matrix.shape[0])[:, None]
         np.testing.assert_allclose(val, matrix[rows, top_k_rows(matrix, 4)], rtol=0, atol=ATOL)
 
+    def test_threshold_candidates_with_zero_norm_rows(self):
+        # zero-norm factor rows similarity is exactly 0 on both axes: they
+        # must appear for threshold <= 0 and vanish for any positive one
+        rng = np.random.default_rng(17)
+        left, right = rng.normal(size=(12, 5)), rng.normal(size=(9, 5))
+        left[3] = 0.0
+        right[[0, 7]] = 0.0
+        channels = CosineChannels([ChannelPair.from_raw(left, right)])
+        matrix = dense_of(channels)
+        assert np.array_equal(matrix[3], np.zeros(9))
+        for threshold in (-0.5, 0.0, 1e-9, 0.4):
+            rows, cols, values = stream_threshold_candidates(channels, threshold, block=4)
+            er, ec = np.where(matrix >= threshold)
+            assert np.array_equal(rows, er) and np.array_equal(cols, ec)
+            np.testing.assert_allclose(values, matrix[er, ec], rtol=0, atol=ATOL)
+
+    def test_mutual_top_n_with_zero_norm_rows(self):
+        rng = np.random.default_rng(19)
+        a, b = rng.normal(size=(15, 4)), rng.normal(size=(11, 4))
+        a[[2, 8]] = 0.0
+        b[5] = 0.0
+        lefts, rights = mutual_top_n(a, b, 3, block=5)
+        similarity = cosine_similarity_matrix(a, b)
+        top_left = top_k_rows(similarity, 3)
+        top_right = top_k_rows(similarity.T, 3)
+        in_left = np.zeros(similarity.shape, dtype=bool)
+        in_left[np.arange(15)[:, None], top_left] = True
+        in_right = np.zeros(similarity.shape, dtype=bool)
+        in_right[top_right, np.arange(11)[:, None]] = True
+        er, ec = np.nonzero(in_left & in_right)
+        assert np.array_equal(lefts, er) and np.array_equal(rights, ec)
+
+    def test_empty_channel_list_with_explicit_shape(self):
+        # a KG pair without classes yields channel-less similarities; every
+        # kernel must honour the explicit shape instead of crashing
+        channels = CosineChannels([], shape=(6, 4))
+        rows, cols, values = stream_threshold_candidates(channels, 0.5, block=3)
+        assert rows.size == cols.size == values.size == 0
+        rows, cols, values = stream_threshold_candidates(channels, -1.0, block=3)
+        assert rows.size == 24  # the all-zero matrix passes a negative threshold
+        idx, val = stream_topk(channels, 2, block=3)
+        assert idx.shape == (6, 2) and np.array_equal(val, np.zeros((6, 2)))
+        assert np.array_equal(stream_row_max(channels, block=3), np.zeros(6))
+
+    def test_topk_clamps_k_beyond_num_cols(self):
+        channels = random_channels(seed=23, n=7, m=5)
+        matrix = dense_of(channels)
+        idx, val = stream_topk(channels, 12, block=2)  # k > num_cols clamps to 5
+        assert idx.shape == (7, 5)
+        order = np.argsort(-matrix, axis=1, kind="stable")
+        assert np.array_equal(idx, order)
+        # mutual_top_n with n beyond both side widths keeps every pair
+        rng = np.random.default_rng(29)
+        a, b = rng.normal(size=(6, 3)), rng.normal(size=(4, 3))
+        lefts, rights = mutual_top_n(a, b, 99, block=3)
+        assert lefts.size == 24 and rights.size == 24
+
 
 # ---------------------------------------------------------- zero-norm guard
 class TestZeroNormGuard:
@@ -181,8 +238,9 @@ class TestBackendSelection:
         monkeypatch.delenv("REPRO_SIMILARITY_BACKEND")
         assert resolve_backend_name("dense") == "dense"
         assert resolve_backend_name(None) == "dense"
+        assert resolve_backend_name("ann") == "ann"
         with pytest.raises(ValueError):
-            resolve_backend_name("ann")
+            resolve_backend_name("faiss")
 
     def test_workers_resolution(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIMILARITY_WORKERS", "3")
