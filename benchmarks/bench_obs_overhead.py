@@ -1,0 +1,126 @@
+"""Observability overhead benchmark: instrumentation must be nearly free.
+
+``repro.obs`` instruments the hot paths of the whole pipeline (trainer
+steps, similarity cache, ANN index, executor pieces, serving requests), so
+its cost is measured and gated here:
+
+* **enabled** — two full DAAKG fits interleaved (obs off / obs on, several
+  repeats each, min-of-N to shed scheduler noise) must stay within a 3%
+  overhead budget.  The ratio itself is machine-noisy, so the *gating*
+  headline is the boolean ``overhead_within_budget`` (flips fail the
+  regression wall); the raw ratio is recorded for trend-watching.
+* **disabled** — the no-op fast path is validated structurally (every
+  accessor returns the module-level singleton, so there is zero allocation
+  per call) and its per-call cost is recorded in nanoseconds.  ``_ns``
+  metrics are informational: sub-microsecond timings gate nowhere.
+
+Emits ``BENCH_obs.json`` via the shared ``record_bench`` hook.
+"""
+
+import time
+import timeit
+
+from conftest import BENCH_DATASETS, bench_pair, print_table, quick_config, record_bench
+
+import repro.obs as obs
+from repro import DAAKG
+
+REPEATS = 3
+OVERHEAD_BUDGET = 1.03
+NOOP_CALLS = 100_000
+
+
+def _fit_seconds(dataset: str, enabled: bool) -> float:
+    """One full pipeline fit with obs forced on/off; returns wall seconds."""
+    was_enabled = obs.enabled()
+    try:
+        if enabled:
+            obs.enable()
+            obs.reset()  # fresh registry: merge growth must not skew timings
+        else:
+            obs.disable()
+        pipeline = DAAKG(bench_pair(dataset), quick_config("transe"))
+        start = time.perf_counter()
+        pipeline.fit()
+        return time.perf_counter() - start
+    finally:
+        obs.reset()
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+
+
+def test_obs_overhead(benchmark):
+    dataset = BENCH_DATASETS[0]
+
+    def run() -> dict:
+        # Interleave off/on repeats so drift (thermal, cache residency)
+        # hits both arms equally; min-of-N is the standard noise floor.
+        off_times, on_times = [], []
+        for _ in range(REPEATS):
+            off_times.append(_fit_seconds(dataset, enabled=False))
+            on_times.append(_fit_seconds(dataset, enabled=True))
+
+        # Disabled fast path: accessors must return the shared no-op
+        # singletons (zero allocation), and each call should cost tens of
+        # nanoseconds — one enabled-flag check plus an attribute return.
+        obs.disable()
+        noop_identity = (
+            obs.counter("bench.x", kind="a") is obs.counter("bench.y")
+            and obs.histogram("bench.h") is obs.histogram("bench.h2")
+            and obs.span("bench.s") is obs.span("bench.s2")
+        )
+        noop_seconds = timeit.timeit(
+            "counter('bench.noop').inc()",
+            globals={"counter": obs.counter},
+            number=NOOP_CALLS,
+        )
+        return {
+            "off_seconds": min(off_times),
+            "on_seconds": min(on_times),
+            "off_all": off_times,
+            "on_all": on_times,
+            "noop_identity": noop_identity,
+            "noop_call_ns": noop_seconds / NOOP_CALLS * 1e9,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ratio = result["on_seconds"] / max(result["off_seconds"], 1e-12)
+    within_budget = ratio < OVERHEAD_BUDGET
+
+    rows = [
+        ["fit, obs disabled (min of %d)" % REPEATS, f"{result['off_seconds']:.3f} s"],
+        ["fit, obs enabled (min of %d)" % REPEATS, f"{result['on_seconds']:.3f} s"],
+        ["enabled overhead", f"{(ratio - 1) * 100:+.2f}%"],
+        ["within %.0f%% budget" % ((OVERHEAD_BUDGET - 1) * 100), str(within_budget)],
+        ["no-op accessor returns singleton", str(result["noop_identity"])],
+        ["no-op counter call", f"{result['noop_call_ns']:.1f} ns"],
+    ]
+    print_table(f"Observability overhead ({dataset})", ["Metric", "Value"], rows)
+
+    record_bench(
+        "obs",
+        wall_time_seconds=sum(result["off_all"]) + sum(result["on_all"]),
+        headline={
+            # boolean invariants gate (true -> false flips fail the wall);
+            # the raw ratio and ns cost are informational trend signals
+            "overhead_within_budget": within_budget,
+            "noop_zero_allocation": result["noop_identity"],
+            "enabled_overhead_ratio": round(ratio, 4),
+            "noop_call_ns": round(result["noop_call_ns"], 1),
+        },
+        detail={
+            "fit_seconds_disabled": [round(t, 4) for t in result["off_all"]],
+            "fit_seconds_enabled": [round(t, 4) for t in result["on_all"]],
+            "repeats": REPEATS,
+            "budget_ratio": OVERHEAD_BUDGET,
+        },
+    )
+
+    assert result["noop_identity"], "disabled obs accessors must return no-op singletons"
+    assert within_budget, (
+        f"obs instrumentation costs {(ratio - 1) * 100:.2f}% on a full fit "
+        f"(budget {(OVERHEAD_BUDGET - 1) * 100:.0f}%)"
+    )

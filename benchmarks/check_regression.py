@@ -77,6 +77,16 @@ def load(path: str) -> dict:
         return json.load(handle)
 
 
+def _host_summary(entry: dict) -> str:
+    """One-line host stamp for the report, tolerant of pre-stamp artifacts."""
+    host = entry.get("host")
+    if not isinstance(host, dict):
+        return "(unstamped)"
+    cpus = host.get("cpu_count", "?")
+    machine = host.get("machine", "?")
+    return f"{cpus} cpus / {machine}"
+
+
 def compare_artifact(name: str, baseline: dict, fresh: dict, args) -> tuple[list, list]:
     """Returns (markdown rows, failure strings) for one benchmark."""
     rows: list[list[str]] = []
@@ -130,6 +140,14 @@ def compare_artifact(name: str, baseline: dict, fresh: dict, args) -> tuple[list
             "comparable — regenerate and commit BENCH_*.json"
         )
         return rows, failures
+
+    # host context (cpu count, platform) is printed but never gates: it
+    # explains wall-clock drift between machines, it does not excuse it.
+    # Baselines predating the stamp simply show "(unstamped)".
+    base_host = _host_summary(baseline)
+    fresh_host = _host_summary(fresh)
+    if base_host != fresh_host:
+        rows.append([name, "(host)", base_host, fresh_host, "", "info: hosts differ"])
 
     base_wall = float(baseline.get("wall_time_seconds", 0.0))
     fresh_wall = float(fresh.get("wall_time_seconds", 0.0))

@@ -128,6 +128,13 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         # which campaign executor the session ran under: wall-clock numbers
         # are only comparable between artifacts produced on the same backend
         entry["executor"] = os.environ.get("REPRO_CAMPAIGN_EXECUTOR") or "auto"
+        # host context: lets check_regression explain wall-clock drift when a
+        # baseline was produced on different hardware (informational only)
+        entry["host"] = {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        }
         path = os.path.join(_REPO_ROOT, f"BENCH_{name}.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(entry, handle, indent=2, sort_keys=True)

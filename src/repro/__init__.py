@@ -14,8 +14,11 @@ Public API highlights
 * :mod:`repro.persistence` — versioned checkpoints (``DAAKG.save`` / ``load``,
   ``ActiveLearningLoop.resume``).
 * :mod:`repro.serving` — the online :class:`~repro.serving.AlignmentService`.
+* :mod:`repro.obs` — metrics, tracing and artifact export across every layer
+  (enable with ``REPRO_OBS=1`` or ``repro.obs.enable()``).
 """
 
+from repro import obs
 from repro.core import DAAKG, DAAKGConfig
 from repro.datasets import make_benchmark, available_benchmarks
 from repro.active.campaign import CampaignExecutionError, PartitionedCampaign
@@ -23,7 +26,7 @@ from repro.kg import AlignedKGPair, ElementKind, KnowledgeGraph, PartitionConfig
 from repro.persistence import load_checkpoint, save_checkpoint
 from repro.serving import AlignmentService
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AlignedKGPair",
@@ -38,6 +41,7 @@ __all__ = [
     "available_benchmarks",
     "load_checkpoint",
     "make_benchmark",
+    "obs",
     "save_checkpoint",
     "__version__",
 ]

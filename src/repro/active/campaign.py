@@ -59,11 +59,13 @@ from repro.kg.partition import (
     partition_pair,
     resolve_partition_config,
 )
+import repro.obs as obs
 from repro.runtime.executor import (
     PieceOutcome,
     PieceSpec,
     create_executor,
     effective_executor_name,
+    load_piece_obs,
 )
 from repro.runtime.merge import MergedSimilarityState
 from repro.utils.logging import get_logger
@@ -143,12 +145,14 @@ class CampaignExecutionError(RuntimeError):
     def __init__(self, result: CampaignResult) -> None:
         self.result = result
         failed = result.failed
-        detail = "; ".join(f"piece {r.index}: {r.error}" for r in failed)
+        detail = "; ".join(
+            f"piece {r.index} after {r.seconds:.2f}s: {r.error}" for r in failed
+        )
         super().__init__(
             f"{len(failed)} of {len(result.partition_results)} campaign pieces "
-            f"failed ({detail}); completed pieces kept their results — "
-            "run() again (or save()/load() first) re-executes only the "
-            "failed pieces"
+            f"failed on the {result.executor!r} executor ({detail}); completed "
+            "pieces kept their results — run() again (or save()/load() first) "
+            "re-executes only the failed pieces"
         )
 
 
@@ -228,6 +232,9 @@ class PartitionedCampaign:
         # training through ANY path (run(), or a piece's public pipeline()/
         # loop() accessors) invalidates it
         self._merged: tuple[tuple, MergedSimilarityState] | None = None
+        # per-piece obs payloads ({"snapshot", "events"}) from the most
+        # recent run() — populated only while repro.obs is enabled
+        self.piece_obs: dict[int, dict] = {}
 
     # ------------------------------------------------------------------ build
     @property
@@ -331,6 +338,7 @@ class PartitionedCampaign:
                     dataset_arrays=dataset_arrays,
                     checkpoint_dir=checkpoint_dir,
                     output_dir=str(directory / f"piece_{index:04d}_out"),
+                    obs=obs.enabled(),
                 )
             )
         return specs
@@ -352,6 +360,24 @@ class PartitionedCampaign:
         loop = restore_loop(load_checkpoint(outcome.output_dir))
         self.loops[outcome.index] = loop
         self.pipelines[outcome.index] = loop.daakg
+
+    def _fold_piece_obs(self, specs: list[PieceSpec]) -> None:
+        """Merge every piece's serialised obs state into the current scope.
+
+        Counter and histogram merges are exact (fixed buckets), so the
+        campaign-level snapshot equals the sum of the per-piece snapshots no
+        matter which executor backend produced them.  Per-piece payloads are
+        also kept on ``self.piece_obs`` for inspection.
+        """
+        if not obs.enabled():
+            return
+        for spec in specs:
+            payload = load_piece_obs(spec.output_dir)
+            if payload is None:
+                continue
+            self.piece_obs[spec.index] = payload
+            obs.merge_snapshot(payload.get("snapshot", {}))
+            obs.extend_events(payload.get("events", []))
 
     def run(self, max_batches: int | None = None) -> CampaignResult:
         """Fit + run the active loop of every unfinished partition.
@@ -378,21 +404,34 @@ class PartitionedCampaign:
         scratch = Path(tempfile.mkdtemp(prefix="repro-campaign-"))
         try:
             if pending:
-                specs = self.piece_specs(scratch, max_batches, indices=pending)
-                executor = create_executor(
-                    executor_name, workers=self.partition_config.workers
-                )
-                logger.info(
-                    "running %d/%d pieces on the %s executor (%d workers)",
-                    len(pending),
-                    self.num_partitions,
-                    executor_name,
-                    executor.workers,
-                )
-                for outcome in executor.execute(specs):
-                    outcomes[outcome.index] = outcome
-                    if outcome.completed:
-                        self._fold_outcome(outcome)
+                with obs.span(
+                    "campaign.run", executor=executor_name, pieces=len(pending)
+                ):
+                    specs = self.piece_specs(scratch, max_batches, indices=pending)
+                    executor = create_executor(
+                        executor_name, workers=self.partition_config.workers
+                    )
+                    for spec in specs:
+                        obs.event(
+                            "executor.piece.queued",
+                            piece=spec.index,
+                            executor=executor_name,
+                        )
+                    logger.info(
+                        "running %d/%d pieces on the %s executor (%d workers)",
+                        len(pending),
+                        self.num_partitions,
+                        executor_name,
+                        executor.workers,
+                    )
+                    for outcome in executor.execute(specs):
+                        outcomes[outcome.index] = outcome
+                        if outcome.completed:
+                            self._fold_outcome(outcome)
+                    # fold piece telemetry before the scratch dir disappears:
+                    # the per-piece obs payloads cross the process boundary as
+                    # files, exactly like the result checkpoints above
+                    self._fold_piece_obs(specs)
         finally:
             shutil.rmtree(scratch, ignore_errors=True)
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.active.oracle import Oracle
 from repro.active.pool import ElementPairPool, PoolConfig, build_pool
 from repro.active.strategies import SelectionState, SelectionStrategy
@@ -238,21 +239,27 @@ class ActiveLearningLoop:
                 break
             batch_index = self._next_batch
             start = time.perf_counter()
-            state = self._build_state()
-            selected = self.strategy.select(state, self.config.batch_size)
-            if not selected:
-                logger.info("strategy returned no pairs; stopping at batch %d", batch_index)
-                break
-            answers = self.oracle.label_batch(selected)
-            new_matches: dict[ElementKind, list[tuple[int, int]]] = {k: [] for k in _KINDS}
-            new_non_matches: dict[ElementKind, list[tuple[int, int]]] = {k: [] for k in _KINDS}
-            for pair, is_match in answers:
-                target = new_matches if is_match else new_non_matches
-                target[pair.kind].append((pair.left, pair.right))
-            self.trainer.fine_tune(
-                new_matches, new_non_matches, epochs=self.config.fine_tune_epochs
-            )
-            entity_scores, relation_scores, class_scores = self.evaluate()
+            with obs.span("active.batch", batch=batch_index):
+                state = self._build_state()
+                with obs.timer("active.select.seconds"):
+                    selected = self.strategy.select(state, self.config.batch_size)
+                if not selected:
+                    logger.info(
+                        "strategy returned no pairs; stopping at batch %d", batch_index
+                    )
+                    break
+                answers = self.oracle.label_batch(selected)
+                new_matches: dict[ElementKind, list[tuple[int, int]]] = {k: [] for k in _KINDS}
+                new_non_matches: dict[ElementKind, list[tuple[int, int]]] = {k: [] for k in _KINDS}
+                for pair, is_match in answers:
+                    target = new_matches if is_match else new_non_matches
+                    target[pair.kind].append((pair.left, pair.right))
+                with obs.timer("active.fine_tune.seconds"):
+                    self.trainer.fine_tune(
+                        new_matches, new_non_matches, epochs=self.config.fine_tune_epochs
+                    )
+                with obs.timer("active.evaluate.seconds"):
+                    entity_scores, relation_scores, class_scores = self.evaluate()
             matches_labelled = sum(
                 len(v) for v in self.trainer.labels.matches.values()
             )

@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
+import repro.obs as obs
 from repro.autograd.tensor import no_grad
 from repro.kg.elements import ElementKind
 from repro.nn.optim import parameter_version
@@ -208,6 +209,7 @@ class SimilarityEngine:
         cached = self._cached(kind)
         if cached is not None:
             self.hit_counts[kind] += 1
+            obs.counter("similarity.cache.hits", kind=kind.value, cache="matrix").inc()
             return cached
         # Materialise the snapshot first: a lazy refresh_statistics seeds the
         # entity cache (dense), turning this miss into a hit instead of a
@@ -216,12 +218,16 @@ class SimilarityEngine:
         cached = self._cached(kind)
         if cached is not None:
             self.hit_counts[kind] += 1
+            obs.counter("similarity.cache.hits", kind=kind.value, cache="matrix").inc()
             return cached
-        matrix = self.backend.compute_full(kind)
+        obs.counter("similarity.cache.misses", kind=kind.value, cache="matrix").inc()
+        with obs.span("similarity.matrix.rebuild", kind=kind.value):
+            matrix = self.backend.compute_full(kind)
         # Token is read *after* computing: the computation may lazily refresh
         # the snapshot, which bumps the model's snapshot version.
         self._matrices[kind] = (self._token_for(kind), matrix)
         self.compute_counts[kind] += 1
+        obs.counter("similarity.cache.rebuilds", kind=kind.value, cache="matrix").inc()
         return matrix
 
     def _dense_matrix(self, kind: ElementKind) -> np.ndarray:
@@ -316,13 +322,18 @@ class SimilarityEngine:
         key = (kind, k)
         entry = self._top_k.get(key)
         if entry is not None and entry[0] == self._token_for(kind):
+            obs.counter("similarity.cache.hits", kind=kind.value, cache="top_k").inc()
             return entry[1]
         self.model.snapshot
         entry = self._top_k.get(key)
         if entry is not None and entry[0] == self._token_for(kind):
+            obs.counter("similarity.cache.hits", kind=kind.value, cache="top_k").inc()
             return entry[1]
-        table = self.backend.top_k_table(kind, k)
+        obs.counter("similarity.cache.misses", kind=kind.value, cache="top_k").inc()
+        with obs.span("similarity.top_k.rebuild", kind=kind.value, k=k):
+            table = self.backend.top_k_table(kind, k)
         self._top_k[key] = (self._token_for(kind), table)
+        obs.counter("similarity.cache.rebuilds", kind=kind.value, cache="top_k").inc()
         return table
 
     def top_k(self, kind: ElementKind, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -349,13 +360,17 @@ class SimilarityEngine:
         key = (_CHANNELS, kind)
         entry = self._channels.get(key)
         if entry is not None and entry[0] == self._token_for(key):
+            obs.counter("similarity.cache.hits", kind=kind.value, cache="channels").inc()
             return entry[1]
         snap = self.model.snapshot  # may bump the snapshot version: build after
         entry = self._channels.get(key)
         if entry is not None and entry[0] == self._token_for(key):
+            obs.counter("similarity.cache.hits", kind=kind.value, cache="channels").inc()
             return entry[1]
+        obs.counter("similarity.cache.misses", kind=kind.value, cache="channels").inc()
         channels = self._build_channels(kind, snap)
         self._channels[key] = (self._token_for(key), channels)
+        obs.counter("similarity.cache.rebuilds", kind=kind.value, cache="channels").inc()
         return channels
 
     def _build_channels(self, kind: ElementKind, snap: "AlignmentSnapshot") -> CosineChannels:

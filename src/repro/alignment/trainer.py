@@ -17,10 +17,12 @@ weights instead of retraining from scratch.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.autograd import functional as F
 from repro.alignment.model import JointAlignmentModel
 from repro.alignment.semi_supervised import (
@@ -355,27 +357,33 @@ class JointAlignmentTrainer:
         for kind in _KINDS:
             matches = self.labels.match_array(kind)
             if matches.size:
-                terms.append(self._match_loss(kind, matches, focal=kind in focal_kinds))
+                with obs.timer("trainer.loss.seconds", term="match", kind=kind.value):
+                    terms.append(self._match_loss(kind, matches, focal=kind in focal_kinds))
             non_matches = self.labels.non_match_array(kind)
             if non_matches.size:
-                terms.append(self._non_match_loss(kind, non_matches))
+                with obs.timer("trainer.loss.seconds", term="non_match", kind=kind.value):
+                    terms.append(self._non_match_loss(kind, non_matches))
             if self.config.semi_supervised:
-                semi = self._semi_loss(kind)
+                with obs.timer("trainer.loss.seconds", term="semi", kind=kind.value):
+                    semi = self._semi_loss(kind)
                 if semi is not None:
                     terms.append(semi)
         if self.config.entity_anchor_weight > 0:
-            anchor = self._entity_anchor_loss()
+            with obs.timer("trainer.loss.seconds", term="entity_anchor"):
+                anchor = self._entity_anchor_loss()
             if anchor is not None:
                 terms.append(anchor)
         if self.config.align_relations_via_entity_map:
-            translation = self._relation_translation_loss()
+            with obs.timer("trainer.loss.seconds", term="relation_translation"):
+                translation = self._relation_translation_loss()
             if translation is not None:
                 terms.append(translation)
         if self.config.embedding_batches_per_round > 0:
-            for _ in range(self.config.embedding_batches_per_round):
-                emb = self._embedding_loss()
-                if emb is not None:
-                    terms.append(emb)
+            with obs.timer("trainer.loss.seconds", term="embedding"):
+                for _ in range(self.config.embedding_batches_per_round):
+                    emb = self._embedding_loss()
+                    if emb is not None:
+                        terms.append(emb)
         if not terms:
             return None
         total = terms[0]
@@ -398,12 +406,13 @@ class JointAlignmentTrainer:
         ``refresh_statistics`` seeds the engine's entity cache, so mining hard
         candidates and potential matches below reuses one entity matrix.
         """
-        self.model.set_landmarks(self._current_entity_landmarks())
-        self.model.refresh_statistics()
-        self._refresh_hard_candidates()
-        if self.config.semi_supervised:
-            self._refresh_semi_supervision()
+        with obs.span("trainer.refresh_round_state"):
             self.model.set_landmarks(self._current_entity_landmarks())
+            self.model.refresh_statistics()
+            self._refresh_hard_candidates()
+            if self.config.semi_supervised:
+                self._refresh_semi_supervision()
+                self.model.set_landmarks(self._current_entity_landmarks())
 
     def _refresh_hard_candidates(self) -> None:
         """Cache each entity's most similar counterparts for hard negative mining."""
@@ -440,11 +449,12 @@ class JointAlignmentTrainer:
     def train(self) -> list[float]:
         """Run the configured number of rounds; returns the loss history."""
         for round_idx in range(self.config.rounds):
-            self._refresh_round_state()
-            for _ in range(self.config.epochs_per_round):
-                loss = self._step()
-                if loss is not None:
-                    self.loss_history.append(loss)
+            with obs.span("trainer.round", round=round_idx):
+                self._refresh_round_state()
+                for _ in range(self.config.epochs_per_round):
+                    loss = self._step()
+                    if loss is not None:
+                        self.loss_history.append(loss)
             logger.debug(
                 "alignment round %d: loss=%.4f labels=%d",
                 round_idx,
@@ -454,12 +464,16 @@ class JointAlignmentTrainer:
         return self.loss_history
 
     def _step(self, focal_kinds: set[ElementKind] | None = None) -> float | None:
+        start = time.perf_counter()
         self.optimizer.zero_grad()
         loss = self._total_loss(focal_kinds)
         if loss is None:
             return None
-        loss.backward()
+        with obs.timer("trainer.backward.seconds"):
+            loss.backward()
         self.optimizer.step()
+        obs.histogram("trainer.step.seconds").observe(time.perf_counter() - start)
+        obs.counter("trainer.steps.total").inc()
         return loss.item()
 
     def fine_tune(

@@ -18,6 +18,7 @@ from dataclasses import replace
 
 import numpy as np
 
+import repro.obs as obs
 from repro.active.loop import ActiveLearningConfig, ActiveLearningLoop
 from repro.active.oracle import Oracle
 from repro.active.pool import ElementPairPool, build_pool
@@ -187,16 +188,17 @@ class DAAKG:
         semi-supervision or active learning).  Matches are given as name pairs.
         """
         config = self.config
-        with self.training_time:
+        with self.training_time, obs.span("pipeline.fit", base_model=config.base_model):
             if config.pretrain.epochs > 0:
-                KGEmbeddingTrainer(
-                    self.kg1, self.embedding_model_1, self.class_scorer_1, config.pretrain,
-                    seed=self.rng,
-                ).train()
-                KGEmbeddingTrainer(
-                    self.kg2, self.embedding_model_2, self.class_scorer_2, config.pretrain,
-                    seed=self.rng,
-                ).train()
+                with obs.span("pipeline.pretrain"):
+                    KGEmbeddingTrainer(
+                        self.kg1, self.embedding_model_1, self.class_scorer_1, config.pretrain,
+                        seed=self.rng,
+                    ).train()
+                    KGEmbeddingTrainer(
+                        self.kg2, self.embedding_model_2, self.class_scorer_2, config.pretrain,
+                        seed=self.rng,
+                    ).train()
             seeds = entity_matches if entity_matches is not None else self.pair.train_entity_pairs
             if seeds:
                 self.trainer.add_matches(ElementKind.ENTITY, self.pair.entity_match_ids(seeds))
@@ -208,7 +210,8 @@ class DAAKG:
             if class_matches:
                 ids = [(self.kg1.class_id(a), self.kg2.class_id(b)) for a, b in class_matches]
                 self.trainer.add_matches(ElementKind.CLASS, ids)
-            self.trainer.train()
+            with obs.span("pipeline.align"):
+                self.trainer.train()
         self._fitted = True
         return self
 

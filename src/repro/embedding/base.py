@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.autograd.tensor import Tensor, is_grad_enabled, no_grad
 from repro.kg.graph import KnowledgeGraph
 from repro.nn.module import Module
@@ -111,9 +112,11 @@ class KGEmbeddingModel(Module):
             # Serving the retained graph repeatedly is safe across multiple
             # backward calls: Tensor.backward clears interior grads in its
             # epilogue, so a later pass never double-counts an earlier one.
+            obs.counter("embedding.forward.reused").inc()
             return cached
         entities, relations = self._forward_outputs()
         self.forward_count += 1
+        obs.counter("embedding.forward.computed").inc()
         entry = ForwardOutputs(entities, relations, self.parameter_token())
         if self.forward_session:
             self._outputs_cache = entry

@@ -1,0 +1,137 @@
+"""Span-based tracing: nested spans, monotonic durations, JSONL events.
+
+A :class:`TraceBuffer` collects structured event dicts in memory; one buffer
+belongs to one :class:`repro.obs.ObsState` scope (the process default, or a
+piece-scoped state inside an executor worker).  Spans nest per thread — each
+thread keeps its own parent stack, so concurrent pieces on the thread
+executor never interleave their parent/child links.
+
+Event shape (one JSON object per line in ``trace.jsonl``)::
+
+    {"name": "trainer.step", "ts": 1722.4, "dur_s": 0.0123,
+     "span_id": 7, "parent_id": 3, "pid": 4242, "attrs": {"piece": 1}}
+
+``ts`` is wall-clock (``time.time``) for cross-process alignment; ``dur_s``
+is measured on the monotonic clock (``time.perf_counter``) so spans are
+immune to wall-clock steps.  Instant events carry ``dur_s = 0.0`` and no
+span ids of their own beyond the surrounding span's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+
+class TraceBuffer:
+    """Thread-safe event sink with per-thread span nesting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------- span stack
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    # ---------------------------------------------------------------- records
+    def record(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def event(self, name: str, **attrs) -> None:
+        """An instant (zero-duration) event under the current span, if any."""
+        stack = self._stack()
+        self.record(
+            {
+                "name": name,
+                "ts": time.time(),
+                "dur_s": 0.0,
+                "span_id": self.next_id(),
+                "parent_id": stack[-1] if stack else None,
+                "pid": os.getpid(),
+                "attrs": attrs,
+            }
+        )
+
+    def span(self, name: str, **attrs) -> "Span":
+        return Span(self, name, attrs)
+
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> list[dict]:
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def extend(self, events: list[dict]) -> None:
+        """Adopt another scope's events (the campaign's cross-process fold)."""
+        with self._lock:
+            self._events.extend(events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+class Span:
+    """Context manager emitting one duration event on exit.
+
+    ``set(**attrs)`` adds attributes mid-flight; an exception escaping the
+    block stamps ``attrs["error"]`` with the exception type before
+    re-raising, so failed spans are visible in the trace.
+    """
+
+    __slots__ = ("_buffer", "name", "attrs", "span_id", "parent_id", "_ts", "_start")
+
+    def __init__(self, buffer: TraceBuffer, name: str, attrs: dict) -> None:
+        self._buffer = buffer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = self._buffer._stack()
+        self.span_id = self._buffer.next_id()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._ts = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = self._buffer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._buffer.record(
+            {
+                "name": self.name,
+                "ts": self._ts,
+                "dur_s": duration,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "pid": os.getpid(),
+                "attrs": self.attrs,
+            }
+        )
+        return False

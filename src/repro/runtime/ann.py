@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+import repro.obs as obs
 from repro.runtime.backends import SimilarityBackend, StreamedChannelQueries, TopKTable
 from repro.runtime.streaming import (
     ChannelPair,
@@ -553,28 +554,43 @@ class AnnBackend(StreamedChannelQueries, SimilarityBackend):
         channels = self._direction_channels(kind, transposed)
         num_cols = channels.num_cols
         if not channels.pairs or num_cols < params.min_index_cols:
+            obs.counter(
+                "ann.exact_fallbacks", kind=kind.value, reason="below_min_cols"
+            ).inc()
             return None
         nlist = self._effective_nlist(num_cols)
         if params.nprobe >= nlist:
+            obs.counter(
+                "ann.exact_fallbacks", kind=kind.value, reason="full_probe"
+            ).inc()
             return None  # probing everything = a slower full scan
-        slab_rights = tuple(pair.right for pair in channels.pairs)
-        indexes = tuple(
-            build_channel_index(
-                pair.right,
-                nlist,
-                params.kmeans_iters,
-                seed=[params.seed, channel_idx, int(transposed)],
-                initial=self._landmark_centroids(kind, transposed, pair),
-                slab_rights=slab_rights,
+        with obs.span(
+            "ann.index.build", kind=kind.value, transposed=transposed, nlist=nlist
+        ):
+            slab_rights = tuple(pair.right for pair in channels.pairs)
+            indexes = tuple(
+                build_channel_index(
+                    pair.right,
+                    nlist,
+                    params.kmeans_iters,
+                    seed=[params.seed, channel_idx, int(transposed)],
+                    initial=self._landmark_centroids(kind, transposed, pair),
+                    slab_rights=slab_rights,
+                )
+                for channel_idx, pair in enumerate(channels.pairs)
             )
-            for channel_idx, pair in enumerate(channels.pairs)
-        )
-        nprobe = self._calibrate(channels, indexes, nlist)
+            nprobe = self._calibrate(channels, indexes, nlist, kind)
         if nprobe is None:
+            obs.counter(
+                "ann.exact_fallbacks", kind=kind.value, reason="calibration"
+            ).inc()
             return None
+        obs.counter("ann.index.builds", kind=kind.value).inc()
         return indexes, nprobe
 
-    def _calibrate(self, channels, indexes, nlist: int) -> int | None:
+    def _calibrate(
+        self, channels, indexes, nlist: int, kind: "ElementKind | None" = None
+    ) -> int | None:
         """Smallest power-of-two multiple of ``nprobe`` meeting ``min_recall``.
 
         Sampled rows are fixed (evenly spaced), the exact reference is one
@@ -597,6 +613,10 @@ class AnnBackend(StreamedChannelQueries, SimilarityBackend):
             )
             if topk_recall(exact_idx, approx_idx, exact_val, approx_val) >= params.min_recall:
                 return nprobe
+            obs.counter(
+                "ann.nprobe.escalations",
+                kind=kind.value if kind is not None else "ephemeral",
+            ).inc()
             nprobe *= 2
         return None
 
@@ -702,7 +722,9 @@ class AnnBackend(StreamedChannelQueries, SimilarityBackend):
         )
         nprobe = self._calibrate(channels, indexes, nlist)
         if nprobe is None:
+            obs.counter("ann.exact_fallbacks", kind="ephemeral", reason="calibration").inc()
             return stream_topk(channels, n, self._block, self._workers)[0]
+        obs.counter("ann.index.builds", kind="ephemeral").inc()
         return ann_topk(
             channels, indexes, np.arange(channels.num_rows), n, nprobe, self._block
         )[0]

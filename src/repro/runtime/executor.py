@@ -53,6 +53,7 @@ worker and more than one core), overridden per process by the
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import traceback
@@ -62,6 +63,7 @@ from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with active/core
@@ -127,6 +129,11 @@ class PieceSpec:
     max_batches: int | None = None
     dataset_arrays: dict[str, np.ndarray] | None = None
     checkpoint_dir: str | None = None
+    # observability opt-in: the campaign stamps ``obs.enabled()`` here, so a
+    # worker process (which does not share the parent's in-process flag)
+    # knows to collect a piece-scoped metrics/trace state and serialise it
+    # into ``output_dir`` alongside the result checkpoint
+    obs: bool = False
 
     def __post_init__(self) -> None:
         if (self.dataset_arrays is None) == (self.checkpoint_dir is None):
@@ -191,6 +198,39 @@ def _materialize_piece(spec: PieceSpec) -> "tuple[DAAKG, ActiveLearningLoop]":
     return pipeline, loop
 
 
+#: Per-piece observability artifact, written next to the result checkpoint.
+PIECE_OBS_FILENAME = "obs.json"
+
+
+def write_piece_obs(output_dir: str, state: "obs.ObsState") -> None:
+    """Serialise a piece-scoped obs state into the piece's output directory.
+
+    Written for completed *and* failed pieces (a failed piece has no result
+    checkpoint, but its lifecycle telemetry is exactly what debugging
+    needs), so the directory may not exist yet.
+    """
+    os.makedirs(output_dir, exist_ok=True)
+    payload = {
+        "snapshot": state.registry.snapshot(),
+        "events": state.trace.events(),
+    }
+    with open(os.path.join(output_dir, PIECE_OBS_FILENAME), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def load_piece_obs(output_dir: str | None) -> dict | None:
+    """The piece's serialised obs payload, or None when absent/unreadable."""
+    if not output_dir:
+        return None
+    path = os.path.join(output_dir, PIECE_OBS_FILENAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
 def run_piece_spec(spec: PieceSpec) -> PieceOutcome:
     """Run one piece end to end; every executor backend calls exactly this.
 
@@ -200,43 +240,66 @@ def run_piece_spec(spec: PieceSpec) -> PieceOutcome:
     writes a standard per-piece checkpoint into ``spec.output_dir`` — the
     per-rank artifact the campaign's merge layer folds in unchanged.
 
+    When ``spec.obs`` is set, the whole run executes inside a fresh
+    piece-scoped :class:`repro.obs.ObsState`; its metrics snapshot and trace
+    events (including the started/finished/failed lifecycle events) are
+    serialised into ``spec.output_dir`` for the campaign to fold back —
+    metrics cross the process boundary exactly like checkpoints do.
+
     Never raises: any exception (including injected poison) becomes a failed
     :class:`PieceOutcome`, leaving the campaign resumable.
     """
     from repro.persistence.checkpoint import save_checkpoint  # circular at module level
 
     start = time.perf_counter()
-    try:
-        _check_poison(spec.index)
-        pipeline, loop = _materialize_piece(spec)
-        if not pipeline.is_fitted:
-            pipeline.fit()
-        loop.run(spec.max_batches)
-        save_checkpoint(spec.output_dir, pipeline, loop=loop)
-        seconds = time.perf_counter() - start
-        logger.info(
-            "piece %d done in %.2fs (%d records, pid %d)",
-            spec.index,
-            seconds,
-            len(loop.records),
-            os.getpid(),
+    with obs.scoped(spec.obs) as obs_state:
+        obs.event("executor.piece.started", piece=spec.index, pid=os.getpid())
+        try:
+            with obs.span("executor.piece", piece=spec.index):
+                _check_poison(spec.index)
+                pipeline, loop = _materialize_piece(spec)
+                if not pipeline.is_fitted:
+                    pipeline.fit()
+                loop.run(spec.max_batches)
+                save_checkpoint(spec.output_dir, pipeline, loop=loop)
+            seconds = time.perf_counter() - start
+            logger.info(
+                "piece %d done in %.2fs (%d records, pid %d)",
+                spec.index,
+                seconds,
+                len(loop.records),
+                os.getpid(),
+            )
+            outcome = PieceOutcome(
+                index=spec.index,
+                status="completed",
+                seconds=seconds,
+                output_dir=spec.output_dir,
+            )
+        except Exception as exc:  # surfaced as a resumable per-piece failure
+            seconds = time.perf_counter() - start
+            logger.warning("piece %d failed after %.2fs: %s", spec.index, seconds, exc)
+            outcome = PieceOutcome(
+                index=spec.index,
+                status="failed",
+                seconds=seconds,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc(),
+            )
+        obs.counter("executor.pieces.total", status=outcome.status).inc()
+        obs.histogram("executor.piece.seconds").observe(outcome.seconds)
+        obs.event(
+            "executor.piece.finished" if outcome.completed else "executor.piece.failed",
+            piece=spec.index,
+            seconds=outcome.seconds,
+            pid=os.getpid(),
         )
-        return PieceOutcome(
-            index=spec.index,
-            status="completed",
-            seconds=seconds,
-            output_dir=spec.output_dir,
-        )
-    except Exception as exc:  # surfaced as a resumable per-piece failure
-        seconds = time.perf_counter() - start
-        logger.warning("piece %d failed after %.2fs: %s", spec.index, seconds, exc)
-        return PieceOutcome(
-            index=spec.index,
-            status="failed",
-            seconds=seconds,
-            error=f"{type(exc).__name__}: {exc}",
-            traceback=traceback.format_exc(),
-        )
+        if obs_state is not None:
+            try:
+                write_piece_obs(spec.output_dir, obs_state)
+            except OSError:  # telemetry must never fail a piece
+                logger.warning("piece %d could not write its obs artifact", spec.index)
+    return outcome
 
 
 # ------------------------------------------------------------------ executors

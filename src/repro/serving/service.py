@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.alignment.calibration import AlignmentCalibrator
 from repro.kg.elements import ElementKind
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.runtime.views import SimilarityView
 from repro.utils.logging import get_logger
 from repro.utils.math import l2_normalize
@@ -249,6 +250,27 @@ class AlignmentService:
         self._cache: OrderedDict[tuple, object] = OrderedDict()
         self._pending: list[Ticket] = []
         self.stats = ServiceStats()
+        # Service-local metrics registry: always on (independent of the
+        # global repro.obs gate — a serving process wants its own telemetry
+        # regardless), exported through :meth:`metrics`.  Instrument handles
+        # are resolved once; per-request cost is one observe/inc under the
+        # instrument's own lock.
+        self.obs = MetricsRegistry()
+        self._created = time.perf_counter()
+        self._lat_hist = self.obs.histogram(
+            "service.request.seconds", buckets=DEFAULT_LATENCY_BUCKETS
+        )
+        self._req_counters = {
+            method: self.obs.counter("service.requests.total", method=method)
+            for method in ("top_k", "score_pairs", "pair_probabilities")
+        }
+        self._cache_hit_counter = self.obs.counter("service.cache.hits")
+        self._cache_miss_counter = self.obs.counter("service.cache.misses")
+        self._queue_gauge = self.obs.gauge("service.queue.depth")
+        self._batch_gauge = self.obs.gauge("service.flush.batch_size")
+        self._flush_counter = self.obs.counter("service.flushes.total")
+        self._swap_counter = self.obs.counter("service.hot_swaps.total")
+        self._fold_counter = self.obs.counter("service.fold_ins.total")
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -302,6 +324,7 @@ class AlignmentService:
         ``argpartition`` call, so a batch of ``m`` queries costs one
         ``(m, |E2|)`` slice rather than ``m`` row scans.
         """
+        start = time.perf_counter()
         state = self._state
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -326,10 +349,13 @@ class AlignmentService:
                 ]
                 results[position] = entry
                 self._cache_put((state.token, "topk", uris[position], k), entry)
+        self._req_counters["top_k"].inc()
+        self._lat_hist.observe(time.perf_counter() - start)
         return results  # type: ignore[return-value]
 
     def score_pairs(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
         """Similarity scores for ``(kg1 uri, kg2 uri)`` pairs, as one array."""
+        start = time.perf_counter()
         state = self._state
         scores = np.empty(len(pairs), dtype=float)
         miss_lefts: list[int] = []
@@ -354,10 +380,13 @@ class AlignmentService:
                 scores[position] = values[i]
                 left, right = pairs[position]
                 self._cache_put((state.token, "score", left, right), float(values[i]))
+        self._req_counters["score_pairs"].inc()
+        self._lat_hist.observe(time.perf_counter() - start)
         return scores
 
     def pair_probabilities(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
         """Calibrated match probabilities (Eq. 12) for entity URI pairs."""
+        start = time.perf_counter()
         state = self._state
         self.stats.queries += len(pairs)
         if not pairs:
@@ -365,9 +394,12 @@ class AlignmentService:
         lefts = np.asarray([self._entity_id(state, 1, a) for a, _ in pairs], dtype=np.int64)
         rights = np.asarray([self._entity_id(state, 2, b) for _, b in pairs], dtype=np.int64)
         view = state.similarity[ElementKind.ENTITY]
-        return state.calibrator.pair_probabilities_from_slabs(
+        probabilities = state.calibrator.pair_probabilities_from_slabs(
             view.rows(lefts), view.cols(rights), ElementKind.ENTITY, lefts, rights
         )
+        self._req_counters["pair_probabilities"].inc()
+        self._lat_hist.observe(time.perf_counter() - start)
+        return probabilities
 
     # ----------------------------------------------------------- micro-batches
     def enqueue_top_k(self, uri: str, k: int = 10) -> Ticket:
@@ -379,6 +411,9 @@ class AlignmentService:
         return self._enqueue("score", (left, right))
 
     def _enqueue(self, op: str, args: tuple) -> Ticket:
+        # note: the queue-depth gauge is sampled at flush()/metrics() time,
+        # not here — a per-ticket gauge write would tax the hottest path for
+        # a value scrapers only ever observe at collection instants
         ticket = Ticket(self, op, args)
         self._pending.append(ticket)
         if len(self._pending) >= self.max_batch:
@@ -395,9 +430,12 @@ class AlignmentService:
         on a group failure the group falls back to per-ticket resolution.
         """
         pending, self._pending = self._pending, []
+        self._queue_gauge.set(0)
         if not pending:
             return 0
         self.stats.flushes += 1
+        self._flush_counter.inc()
+        self._batch_gauge.set(len(pending))
         by_k: dict[int, list[Ticket]] = {}
         score_tickets: list[Ticket] = []
         for ticket in pending:
@@ -460,6 +498,7 @@ class AlignmentService:
             state = ServingSnapshot.from_pipeline(restore_pipeline(checkpoint), token=token)
         self._state = state
         self.stats.swaps += 1
+        self._swap_counter.inc()
         logger.info("hot-swapped serving state to %s", state.token)
         return state.token
 
@@ -546,6 +585,7 @@ class AlignmentService:
         new_state = self._append_entity(state, side, name, vector)
         self._state = new_state
         self.stats.folds += 1
+        self._fold_counter.inc()
         index = self.num_entities(side) - 1
         report = FoldInReport(
             name=name,
@@ -615,6 +655,9 @@ class AlignmentService:
         if value is not None:
             self._cache.move_to_end(key)
             self.stats.cache_hits += 1
+            self._cache_hit_counter.inc()
+        else:
+            self._cache_miss_counter.inc()
         return value
 
     def _cache_put(self, key: tuple, value) -> None:
@@ -624,3 +667,31 @@ class AlignmentService:
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
+
+    # ---------------------------------------------------------------- metrics
+    def metrics(self) -> dict:
+        """Service health in one call: throughput, latency quantiles, caches.
+
+        Latency quantiles are read from the service's own request histogram
+        (bucket interpolation — no per-request latency list is retained), so
+        they cover every request since construction, are exact in count, and
+        cost O(buckets) to compute.  ``snapshot`` carries the raw instrument
+        state for exporters that want the full registry.
+        """
+        self._queue_gauge.set(len(self._pending))
+        requests = sum(counter.value for counter in self._req_counters.values())
+        elapsed = max(time.perf_counter() - self._created, 1e-9)
+        lookups = self._cache_hit_counter.value + self._cache_miss_counter.value
+        return {
+            "requests_total": requests,
+            "qps": requests / elapsed,
+            "p50_latency_ms": self._lat_hist.quantile(0.5) * 1e3,
+            "p99_latency_ms": self._lat_hist.quantile(0.99) * 1e3,
+            "cache_hit_ratio": self._cache_hit_counter.value / lookups if lookups else 0.0,
+            "queue_depth": len(self._pending),
+            "flushes": self.stats.flushes,
+            "hot_swaps": self.stats.swaps,
+            "fold_ins": self.stats.folds,
+            "uptime_seconds": elapsed,
+            "snapshot": self.obs.snapshot(),
+        }
