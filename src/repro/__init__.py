@@ -26,7 +26,7 @@ from repro.kg import AlignedKGPair, ElementKind, KnowledgeGraph, PartitionConfig
 from repro.persistence import load_checkpoint, save_checkpoint
 from repro.serving import AlignmentService
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AlignedKGPair",

@@ -44,6 +44,11 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
 )
 
+#: Power-of-two size buckets for dispatch batch accounting (requests/batch).
+DEFAULT_BATCH_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+)
+
 
 def instrument_key(name: str, labels: dict[str, str]) -> str:
     """Canonical ``name{k="v",...}`` key (labels sorted; bare name when none)."""

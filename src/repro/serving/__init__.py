@@ -5,8 +5,21 @@ answers ``top_k_alignments`` / ``score_pairs`` queries from the cached
 similarity matrices, with request micro-batching, a state-token-keyed LRU
 result cache, atomic hot-swap to newer checkpoints, and incremental fold-in
 of new entities without recomputing the full similarity state.
+
+:class:`ServingFrontend` puts a concurrent dispatcher in front of a service:
+a bounded admission queue with typed load-shedding
+(:class:`BackpressureError`), deadline-aware batch flushing, and a worker
+pool fanning read-only snapshot queries out without a global lock — the
+layer that turns single-caller micro-batching into a measured saturation
+curve under open-loop load (``benchmarks/bench_serving_throughput.py``).
 """
 
+from repro.serving.frontend import (
+    BackpressureError,
+    FrontendConfig,
+    ServingFrontend,
+    resolve_frontend_config,
+)
 from repro.serving.service import (
     AlignmentService,
     FoldInReport,
@@ -18,9 +31,13 @@ from repro.serving.service import (
 
 __all__ = [
     "AlignmentService",
+    "BackpressureError",
     "FoldInReport",
+    "FrontendConfig",
     "ServiceStats",
     "ServingError",
+    "ServingFrontend",
     "ServingSnapshot",
     "Ticket",
+    "resolve_frontend_config",
 ]

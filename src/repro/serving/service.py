@@ -19,7 +19,16 @@ Design points:
 * **Micro-batching** — ``enqueue_*`` queues single queries; ``flush`` (called
   automatically when ``max_batch`` queries are pending, or lazily by
   ``Ticket.result``) answers all pending queries of each shape with one
-  vectorised gather instead of per-query matrix rows.
+  vectorised gather instead of per-query matrix rows.  When a
+  :class:`~repro.serving.frontend.ServingFrontend` dispatcher is attached,
+  enqueued tickets route to its flush loop instead, and ``Ticket.result``
+  *waits* rather than stealing the whole batch onto the caller's thread.
+* **Thread safety** — the query path is safe for concurrent callers: the
+  snapshot reference is read once per call (readers fan out over the frozen
+  state without any global lock), while the mutable extras — the LRU result
+  cache, the pending micro-batch queue and the stats counters — each take
+  their own fine-grained lock.  ``hot_swap`` / ``fold_in`` serialise their
+  read-modify-write of the snapshot reference behind a swap lock.
 * **Incremental fold-in** — a new entity arriving with its triples gets an
   output-space embedding optimised against the frozen model (a few gradient
   steps on only the new row, via ``score_np_grad_head`` /
@@ -34,9 +43,10 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -52,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle with core
     from repro.active.campaign import PartitionedCampaign
     from repro.core.daakg import DAAKG
     from repro.embedding.base import KGEmbeddingModel
+    from repro.serving.frontend import ServingFrontend
 
 logger = get_logger(__name__)
 
@@ -182,7 +193,14 @@ class ServingSnapshot:
 
 @dataclass
 class Ticket:
-    """A pending micro-batched query; ``result()`` flushes if still queued."""
+    """A pending micro-batched query; ``result()`` flushes if still queued.
+
+    Under a :class:`~repro.serving.frontend.ServingFrontend` dispatcher the
+    ticket carries the dispatcher reference plus its deadline and submit /
+    complete timestamps; ``result()`` then *waits* for the flush loop to
+    resolve it instead of flushing the whole queue on the caller's thread —
+    one slow caller can never steal the batch.
+    """
 
     service: "AlignmentService"
     op: str
@@ -190,10 +208,17 @@ class Ticket:
     ready: bool = False
     value: object = None
     error: Exception | None = None
+    dispatcher: "ServingFrontend | None" = None
+    deadline_s: float = 0.0
+    submitted_at: float = 0.0
+    completed_at: float = 0.0
 
-    def result(self):
+    def result(self, timeout: float | None = None):
         if not self.ready:
-            self.service.flush()
+            if self.dispatcher is not None:
+                self.dispatcher.wait(self, timeout)
+            else:
+                self.service.flush()
         if self.error is not None:
             raise self.error
         return self.value
@@ -213,13 +238,21 @@ class FoldInReport:
 
 @dataclass
 class ServiceStats:
-    """Monotonic counters for throughput accounting."""
+    """Monotonic counters for throughput accounting (lock-exact under threads)."""
 
     queries: int = 0
     cache_hits: int = 0
     flushes: int = 0
     folds: int = 0
     swaps: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment one counter atomically (``+=`` alone is not, under threads)."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -250,6 +283,15 @@ class AlignmentService:
         self._cache: OrderedDict[tuple, object] = OrderedDict()
         self._pending: list[Ticket] = []
         self.stats = ServiceStats()
+        # Fine-grained synchronization: queries read the snapshot reference
+        # once and fan out lock-free over the frozen arrays; only the mutable
+        # extras take a lock, each its own so readers never contend across
+        # concerns.  The swap lock serialises hot_swap/fold_in — the only
+        # read-modify-write of the snapshot reference.
+        self._cache_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
+        self._dispatcher: "ServingFrontend | None" = None
         # Service-local metrics registry: always on (independent of the
         # global repro.obs gate — a serving process wants its own telemetry
         # regardless), exported through :meth:`metrics`.  Instrument handles
@@ -328,27 +370,32 @@ class AlignmentService:
         state = self._state
         if k < 1:
             raise ValueError("k must be >= 1")
+        self.stats.bump("queries", len(uris))
+        use_cache = self.cache_size > 0
         results: list[list[tuple[str, float]] | None] = [None] * len(uris)
         miss_rows: list[int] = []
         miss_positions: list[int] = []
         for position, uri in enumerate(uris):
-            self.stats.queries += 1
-            cached = self._cache_get((state.token, "topk", uri, k))
-            if cached is not None:
-                results[position] = cached
-                continue
+            if use_cache:
+                cached = self._cache_get((state.token, "topk", uri, k))
+                if cached is not None:
+                    results[position] = cached
+                    continue
             miss_rows.append(self._entity_id(state, 1, uri))
             miss_positions.append(position)
         if miss_rows:
             view = state.similarity[ElementKind.ENTITY]
             top, values = view.top_k_for_rows(np.asarray(miss_rows, dtype=np.int64), k)
+            names = state.entity_names_2
+            top_lists = top.tolist()  # one bulk int/float conversion beats
+            value_lists = values.tolist()  # per-element float()/int() casts
             for i, position in enumerate(miss_positions):
                 entry = [
-                    (state.entity_names_2[int(j)], float(v))
-                    for j, v in zip(top[i], values[i])
+                    (names[j], v) for j, v in zip(top_lists[i], value_lists[i])
                 ]
                 results[position] = entry
-                self._cache_put((state.token, "topk", uris[position], k), entry)
+                if use_cache:
+                    self._cache_put((state.token, "topk", uris[position], k), entry)
         self._req_counters["top_k"].inc()
         self._lat_hist.observe(time.perf_counter() - start)
         return results  # type: ignore[return-value]
@@ -357,16 +404,18 @@ class AlignmentService:
         """Similarity scores for ``(kg1 uri, kg2 uri)`` pairs, as one array."""
         start = time.perf_counter()
         state = self._state
+        self.stats.bump("queries", len(pairs))
+        use_cache = self.cache_size > 0
         scores = np.empty(len(pairs), dtype=float)
         miss_lefts: list[int] = []
         miss_rights: list[int] = []
         miss_positions: list[int] = []
         for position, (left, right) in enumerate(pairs):
-            self.stats.queries += 1
-            cached = self._cache_get((state.token, "score", left, right))
-            if cached is not None:
-                scores[position] = cached
-                continue
+            if use_cache:
+                cached = self._cache_get((state.token, "score", left, right))
+                if cached is not None:
+                    scores[position] = cached
+                    continue
             miss_lefts.append(self._entity_id(state, 1, left))
             miss_rights.append(self._entity_id(state, 2, right))
             miss_positions.append(position)
@@ -376,10 +425,12 @@ class AlignmentService:
                 np.asarray(miss_lefts, dtype=np.int64),
                 np.asarray(miss_rights, dtype=np.int64),
             )
+            value_list = values.tolist()
             for i, position in enumerate(miss_positions):
-                scores[position] = values[i]
-                left, right = pairs[position]
-                self._cache_put((state.token, "score", left, right), float(values[i]))
+                scores[position] = value_list[i]
+                if use_cache:
+                    left, right = pairs[position]
+                    self._cache_put((state.token, "score", left, right), value_list[i])
         self._req_counters["score_pairs"].inc()
         self._lat_hist.observe(time.perf_counter() - start)
         return scores
@@ -388,7 +439,7 @@ class AlignmentService:
         """Calibrated match probabilities (Eq. 12) for entity URI pairs."""
         start = time.perf_counter()
         state = self._state
-        self.stats.queries += len(pairs)
+        self.stats.bump("queries", len(pairs))
         if not pairs:
             return np.zeros(0, dtype=float)
         lefts = np.asarray([self._entity_id(state, 1, a) for a, _ in pairs], dtype=np.int64)
@@ -414,11 +465,31 @@ class AlignmentService:
         # note: the queue-depth gauge is sampled at flush()/metrics() time,
         # not here — a per-ticket gauge write would tax the hottest path for
         # a value scrapers only ever observe at collection instants
+        dispatcher = self._dispatcher
+        if dispatcher is not None:
+            return dispatcher.submit(op, args)
         ticket = Ticket(self, op, args)
-        self._pending.append(ticket)
-        if len(self._pending) >= self.max_batch:
+        with self._pending_lock:
+            self._pending.append(ticket)
+            should_flush = len(self._pending) >= self.max_batch
+        if should_flush:
             self.flush()
         return ticket
+
+    # --------------------------------------------------------- dispatcher hook
+    def attach_dispatcher(self, dispatcher: "ServingFrontend") -> None:
+        """Route subsequent ``enqueue_*`` tickets through ``dispatcher``.
+
+        Called by :meth:`ServingFrontend.start`; only one dispatcher may be
+        attached at a time.  Detaching restores the caller-driven flush.
+        """
+        if self._dispatcher is not None and self._dispatcher is not dispatcher:
+            raise ServingError("a dispatcher is already attached to this service")
+        self._dispatcher = dispatcher
+
+    def detach_dispatcher(self, dispatcher: "ServingFrontend") -> None:
+        if self._dispatcher is dispatcher:
+            self._dispatcher = None
 
     def flush(self) -> int:
         """Answer every pending query, grouped into vectorised batches.
@@ -429,11 +500,12 @@ class AlignmentService:
         ``Ticket.result`` re-raises its error — never the rest of the batch:
         on a group failure the group falls back to per-ticket resolution.
         """
-        pending, self._pending = self._pending, []
+        with self._pending_lock:
+            pending, self._pending = self._pending, []
         self._queue_gauge.set(0)
         if not pending:
             return 0
-        self.stats.flushes += 1
+        self.stats.bump("flushes")
         self._flush_counter.inc()
         self._batch_gauge.set(len(pending))
         by_k: dict[int, list[Ticket]] = {}
@@ -496,8 +568,9 @@ class AlignmentService:
             checkpoint = load_checkpoint(source)
             token = "ckpt-" + checkpoint.manifest["arrays"]["sha256"][:16]
             state = ServingSnapshot.from_pipeline(restore_pipeline(checkpoint), token=token)
-        self._state = state
-        self.stats.swaps += 1
+        with self._swap_lock:
+            self._state = state
+        self.stats.bump("swaps")
         self._swap_counter.inc()
         logger.info("hot-swapped serving state to %s", state.token)
         return state.token
@@ -533,6 +606,21 @@ class AlignmentService:
         if not triples:
             raise ServingError(f"fold-in of {name!r} needs at least one triple")
         start = time.perf_counter()
+        # the swap lock spans the read-modify-write of the snapshot reference:
+        # a concurrent hot_swap or fold_in can neither be lost nor observed
+        # half-applied (queries keep reading whichever snapshot is current)
+        with self._swap_lock:
+            return self._fold_in_locked(name, triples, side, steps, lr, start)
+
+    def _fold_in_locked(
+        self,
+        name: str,
+        triples: Sequence[tuple[str, str, str]],
+        side: int,
+        steps: int,
+        lr: float,
+        start: float,
+    ) -> FoldInReport:
         state = self._state
         entity_index = state.entity_index_1 if side == 1 else state.entity_index_2
         relation_index = state.relation_index_1 if side == 1 else state.relation_index_2
@@ -584,7 +672,7 @@ class AlignmentService:
 
         new_state = self._append_entity(state, side, name, vector)
         self._state = new_state
-        self.stats.folds += 1
+        self.stats.bump("folds")
         self._fold_counter.inc()
         index = self.num_entities(side) - 1
         report = FoldInReport(
@@ -651,10 +739,12 @@ class AlignmentService:
     def _cache_get(self, key: tuple):
         if self.cache_size == 0:
             return None
-        value = self._cache.get(key)
+        with self._cache_lock:
+            value = self._cache.get(key)
+            if value is not None:
+                self._cache.move_to_end(key)
         if value is not None:
-            self._cache.move_to_end(key)
-            self.stats.cache_hits += 1
+            self.stats.bump("cache_hits")
             self._cache_hit_counter.inc()
         else:
             self._cache_miss_counter.inc()
@@ -663,10 +753,11 @@ class AlignmentService:
     def _cache_put(self, key: tuple, value) -> None:
         if self.cache_size == 0:
             return
-        self._cache[key] = value
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
 
     # ---------------------------------------------------------------- metrics
     def metrics(self) -> dict:

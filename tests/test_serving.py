@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -211,6 +213,43 @@ def test_fold_in_cache_isolation(fitted_pipeline):
     hits_before = service.stats.cache_hits
     service.top_k_alignments([uri], k=2)
     assert service.stats.cache_hits == hits_before  # token changed → cache miss
+
+
+# ---------------------------------------------------------------- threading
+def test_concurrent_queries_keep_exact_counters(fitted_pipeline):
+    """Hammer the direct query API from many threads.
+
+    The stats counters are lock-exact, so the totals must come out *equal*
+    (not approximately equal — a lost ``+=`` update is exactly the bug the
+    per-counter lock exists to prevent), and the LRU cache must respect its
+    capacity under concurrent eviction.
+    """
+    service = AlignmentService.from_pipeline(fitted_pipeline, cache_size=16)
+    kg1, kg2 = fitted_pipeline.kg1, fitted_pipeline.kg2
+    uris = list(kg1.entities)
+    threads, errors = [], []
+    rounds, batch = 40, 8
+
+    def hammer(offset: int) -> None:
+        try:
+            for round_index in range(rounds):
+                base = (offset * rounds + round_index) % len(uris)
+                chunk = [uris[(base + j) % len(uris)] for j in range(batch)]
+                service.top_k_alignments(chunk, k=3)
+                service.score_pairs([(chunk[0], kg2.entities[base % kg2.num_entities])])
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    for offset in range(6):
+        threads.append(threading.Thread(target=hammer, args=(offset,)))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    # 6 threads x 40 rounds x (8 top-k uris + 1 score pair), counted exactly
+    assert service.stats.queries == 6 * rounds * (batch + 1)
+    assert len(service._cache) <= 16
 
 
 def test_fold_in_rejects_bad_input(fitted_pipeline):
