@@ -40,6 +40,7 @@ import time
 import numpy as np
 
 from conftest import BENCH_DATASETS, fitted_daakg, print_table, record_bench
+from repro.updates import KGDelta
 from repro.serving import (
     AlignmentService,
     BackpressureError,
@@ -159,8 +160,8 @@ def test_serving_throughput(benchmark, tmp_path):
                 (f"bench:new{repeat}", kg2.relations[r], kg2.entities[t])
                 for r, t in kg2.out_edges(victim)[:8]
             ]
-            report = service.fold_in(f"bench:new{repeat}", triples)
-            fold_times.append(report.seconds)
+            delta = KGDelta.single_entity(f"bench:new{repeat}", triples)
+            fold_times.append(service.apply_delta(delta)[0].seconds)
         engine = pipeline.model.similarity
         recompute_times = []
         for _ in range(3):
@@ -438,7 +439,8 @@ def test_serving_frontend_under_load(benchmark):
                 ("bench:storm", kg2.relations[r], kg2.entities[t])
                 for r, t in kg2.out_edges(victim)[:8]
             ]
-            tokens.add(storm_service.fold_in("bench:storm", triples).token)
+            storm_delta = KGDelta.single_entity("bench:storm", triples)
+            tokens.add(storm_service.apply_delta(storm_delta)[0].token)
             time.sleep(quarter)
             stop.set()
             for thread in storm_threads:

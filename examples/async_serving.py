@@ -23,7 +23,7 @@ import time
 
 import numpy as np
 
-from repro import DAAKG, DAAKGConfig, make_benchmark
+from repro import DAAKG, DAAKGConfig, KGDelta, make_benchmark
 from repro.alignment.trainer import AlignmentTrainingConfig
 from repro.embedding.trainer import EmbeddingTrainingConfig
 from repro.serving import (
@@ -108,8 +108,8 @@ def main() -> None:
             ("demo:new-entity", kg2.relations[r], kg2.entities[t])
             for r, t in kg2.out_edges(victim)[:6]
         ]
-        report = service.fold_in("demo:new-entity", triples)
-        tokens.add(report.token)
+        delta = KGDelta.single_entity("demo:new-entity", triples)
+        tokens.add(service.apply_delta(delta)[-1].token)
         time.sleep(0.3)
         stop.set()
         for thread in threads:

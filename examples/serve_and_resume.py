@@ -18,7 +18,7 @@ Run with::
 import tempfile
 from pathlib import Path
 
-from repro import DAAKG, DAAKGConfig, make_benchmark
+from repro import DAAKG, DAAKGConfig, KGDelta, make_benchmark
 from repro.active.loop import ActiveLearningConfig, ActiveLearningLoop
 from repro.active.pool import PoolConfig
 from repro.alignment.trainer import AlignmentTrainingConfig
@@ -79,7 +79,8 @@ def main() -> None:
     hub = max(range(kg2.num_entities), key=kg2.entity_degree)
     triples = [("brand:new-entity", kg2.relations[r], kg2.entities[t])
                for r, t in kg2.out_edges(hub)[:5]]
-    report = service.fold_in("brand:new-entity", triples)
+    report = service.apply_delta(
+        KGDelta.single_entity("brand:new-entity", triples))[0]
     print(f"\nFolded in 'brand:new-entity' from {report.num_triples} triples "
           f"in {report.seconds * 1e3:.2f} ms (new token {report.token})")
     score = service.score_pairs([(daakg.kg1.entities[0], "brand:new-entity")])[0]

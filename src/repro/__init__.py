@@ -13,7 +13,13 @@ Public API highlights
 * :mod:`repro.active` — pool generation, selection algorithms, the active loop.
 * :mod:`repro.persistence` — versioned checkpoints (``DAAKG.save`` / ``load``,
   ``ActiveLearningLoop.resume``).
-* :mod:`repro.serving` — the online :class:`~repro.serving.AlignmentService`.
+* :mod:`repro.serving` — the online :class:`~repro.serving.AlignmentService`;
+  :func:`repro.serving.serve` turns any pipeline / campaign / checkpoint into
+  a serving surface in one call.
+* :mod:`repro.updates` — incremental updates: a :class:`~repro.updates.KGDelta`
+  flows through ``AlignedKGPair.apply_delta``,
+  ``PartitionedCampaign.apply_update`` (warm-start retrain of only the touched
+  pieces) and ``AlignmentService.apply_delta`` / ``hot_swap``.
 * :mod:`repro.obs` — metrics, tracing and artifact export across every layer
   (enable with ``REPRO_OBS=1`` or ``repro.obs.enable()``).
 """
@@ -24,9 +30,10 @@ from repro.datasets import make_benchmark, available_benchmarks
 from repro.active.campaign import CampaignExecutionError, PartitionedCampaign
 from repro.kg import AlignedKGPair, ElementKind, KnowledgeGraph, PartitionConfig
 from repro.persistence import load_checkpoint, save_checkpoint
-from repro.serving import AlignmentService
+from repro.serving import AlignmentService, serve
+from repro.updates import KGDelta
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AlignedKGPair",
@@ -35,6 +42,7 @@ __all__ = [
     "DAAKG",
     "DAAKGConfig",
     "ElementKind",
+    "KGDelta",
     "KnowledgeGraph",
     "PartitionConfig",
     "PartitionedCampaign",
@@ -43,5 +51,6 @@ __all__ = [
     "make_benchmark",
     "obs",
     "save_checkpoint",
+    "serve",
     "__version__",
 ]

@@ -73,6 +73,8 @@ from repro.utils.logging import get_logger
 if TYPE_CHECKING:  # pragma: no cover - import cycle with core
     from repro.core.config import DAAKGConfig
     from repro.core.daakg import DAAKG
+    from repro.updates.delta import KGDelta
+    from repro.updates.routing import DeltaRouting
 
 logger = get_logger(__name__)
 
@@ -130,6 +132,19 @@ class CampaignResult:
     @property
     def failed(self) -> list[PartitionRunResult]:
         return [r for r in self.partition_results if r.status == "failed"]
+
+
+@dataclass
+class UpdateReport:
+    """Outcome of one :meth:`PartitionedCampaign.apply_update` call."""
+
+    touched: tuple[int, ...]
+    untouched: tuple[int, ...]
+    routing: "DeltaRouting"
+    delta_summary: dict
+    result: CampaignResult | None
+    seconds: float
+    route_seconds: float
 
 
 class CampaignExecutionError(RuntimeError):
@@ -209,6 +224,7 @@ class PartitionedCampaign:
         active_config: ActiveLearningConfig | None = None,
         partition: PartitionConfig | None = None,
         resolve_env: bool = True,
+        partition_state: KGPairPartition | None = None,
     ) -> None:
         from repro.core.config import DAAKGConfig  # circular at module level
 
@@ -222,7 +238,21 @@ class PartitionedCampaign:
         self.partition_config = (
             resolve_partition_config(configured) if resolve_env else configured
         )
-        self.partition: KGPairPartition = partition_pair(pair, self.partition_config)
+        # ``partition_state`` is the incremental-restore path: a partition
+        # whose piece pairs were evolved by deltas cannot be reproduced by
+        # re-running the partitioner, so the restored pieces are adopted
+        # as-is instead.
+        self.partition: KGPairPartition = (
+            partition_state
+            if partition_state is not None
+            else partition_pair(pair, self.partition_config)
+        )
+        # True once a delta has evolved the pieces away from what the
+        # partitioner would build (persistence switches restore paths on it)
+        self.incremental = partition_state is not None
+        # touched pieces stash their pre-update pipelines here until the
+        # retrain consumes them as warm starts
+        self._warm: dict[int, "DAAKG"] = {}
         n = self.partition.num_partitions
         self.pipelines: list["DAAKG | None"] = [None] * n
         self.loops: list[ActiveLearningLoop | None] = [None] * n
@@ -321,6 +351,7 @@ class PartitionedCampaign:
         specs = []
         for index in indices if indices is not None else range(self.num_partitions):
             checkpoint_dir: str | None = None
+            warm_start_dir: str | None = None
             dataset_arrays = None
             if self.pipelines[index] is not None:
                 path = directory / f"piece_{index:04d}_in"
@@ -328,6 +359,13 @@ class PartitionedCampaign:
                 checkpoint_dir = str(path)
             else:
                 dataset_arrays = self._piece_dataset_arrays(index)
+                if index in self._warm:
+                    # the piece's pre-update pipeline: the runner transplants
+                    # its parameters by name into the fresh pipeline it
+                    # builds on the updated pair (see repro.updates.warm_start)
+                    path = directory / f"piece_{index:04d}_warm"
+                    save_checkpoint(path, self._warm[index])
+                    warm_start_dir = str(path)
             specs.append(
                 PieceSpec(
                     index=index,
@@ -337,6 +375,7 @@ class PartitionedCampaign:
                     max_batches=max_batches,
                     dataset_arrays=dataset_arrays,
                     checkpoint_dir=checkpoint_dir,
+                    warm_start_dir=warm_start_dir,
                     output_dir=str(directory / f"piece_{index:04d}_out"),
                     obs=obs.enabled(),
                 )
@@ -360,6 +399,7 @@ class PartitionedCampaign:
         loop = restore_loop(load_checkpoint(outcome.output_dir))
         self.loops[outcome.index] = loop
         self.pipelines[outcome.index] = loop.daakg
+        self._warm.pop(outcome.index, None)
 
     def _fold_piece_obs(self, specs: list[PieceSpec]) -> None:
         """Merge every piece's serialised obs state into the current scope.
@@ -464,6 +504,126 @@ class PartitionedCampaign:
         if result.failed:
             raise CampaignExecutionError(result)
         return result
+
+    # ---------------------------------------------------------------- updates
+    def apply_update(
+        self, delta: "KGDelta", max_batches: int | None = None
+    ) -> UpdateReport:
+        """Ingest one :class:`KGDelta` and warm-start retrain only touched pieces.
+
+        The incremental path end to end:
+
+        1. **route** — :func:`repro.updates.route_delta` restricts the delta
+           to the pieces it touches via the partition membership;
+        2. **apply** — the campaign dataset and every touched piece's
+           sub-pair are replaced by their (pure) delta applications;
+           untouched pieces keep their pairs, pipelines, checkpoints and
+           cached similarity channels — byte for byte;
+        3. **retrain** — touched pieces drop their pipelines, stash them as
+           warm starts, and :meth:`run` re-executes exactly those pieces
+           (untouched pieces report ``"skipped"``), with every transplant
+           happening inside the executor's runner;
+        4. **re-merge** — the merged-state cache is invalidated for real,
+           but untouched pieces' channel factors stay cached under their
+           unchanged engine version tokens, so the next
+           :meth:`merged_state` recomputes only the scatter plus the
+           retrained pieces' factors.
+
+        A piece failure propagates as :class:`CampaignExecutionError` after
+        completed pieces folded in; warm stashes for failed pieces survive
+        in memory, so calling :meth:`run` again retries them warm.  An empty
+        delta is a no-op.
+        """
+        from repro.updates.routing import route_delta  # circular at module level
+
+        start = time.perf_counter()
+        routing = route_delta(self.partition, delta)
+        if not routing.touched:
+            return UpdateReport(
+                touched=(),
+                untouched=tuple(range(self.num_partitions)),
+                routing=routing,
+                delta_summary=delta.summary(),
+                result=None,
+                seconds=time.perf_counter() - start,
+                route_seconds=time.perf_counter() - start,
+            )
+        new_dataset = self.dataset.apply_delta(delta)
+        for index in routing.touched:
+            piece = self.partition.pieces[index]
+            if self.num_partitions == 1:
+                # the identity piece *is* the dataset (bit-exact monolithic
+                # contract), so it adopts the updated pair object directly
+                piece.pair = new_dataset
+                piece.entity_ids_1 = np.arange(new_dataset.kg1.num_entities, dtype=np.int64)
+                piece.entity_ids_2 = np.arange(new_dataset.kg2.num_entities, dtype=np.int64)
+                piece.relation_ids_1 = np.arange(new_dataset.kg1.num_relations, dtype=np.int64)
+                piece.relation_ids_2 = np.arange(new_dataset.kg2.num_relations, dtype=np.int64)
+            else:
+                piece_delta = routing.piece_deltas.get(index)
+                if piece_delta is not None:
+                    old_pair = piece.pair
+                    piece.pair = old_pair.apply_delta(piece_delta)
+                    # append-only vocabulary: extend the local→global maps
+                    # for exactly the appended names (existing ids stay valid
+                    # because the global vocabularies are append-only too)
+                    for side in (1, 2):
+                        old_kg = old_pair.kg1 if side == 1 else old_pair.kg2
+                        new_kg = piece.pair.kg1 if side == 1 else piece.pair.kg2
+                        global_kg = new_dataset.kg1 if side == 1 else new_dataset.kg2
+                        for attr, old_names, new_names, index_map in (
+                            (
+                                f"entity_ids_{side}",
+                                old_kg.entities,
+                                new_kg.entities,
+                                global_kg.entity_index,
+                            ),
+                            (
+                                f"relation_ids_{side}",
+                                old_kg.relations,
+                                new_kg.relations,
+                                global_kg.relation_index,
+                            ),
+                        ):
+                            appended = new_names[len(old_names):]
+                            if appended:
+                                ids = np.array(
+                                    [index_map[name] for name in appended], dtype=np.int64
+                                )
+                                setattr(
+                                    piece, attr, np.concatenate([getattr(piece, attr), ids])
+                                )
+            if self.pipelines[index] is not None and self.pipelines[index].is_fitted:
+                self._warm[index] = self.pipelines[index]
+            self.pipelines[index] = None
+            self.loops[index] = None
+            self._piece_arrays.pop(index, None)
+        self.dataset = new_dataset
+        self.partition.source = new_dataset
+        self.partition.invalidate_membership()
+        self._merged = None
+        if self.num_partitions > 1:
+            self.incremental = True
+        route_seconds = time.perf_counter() - start
+        logger.info(
+            "delta routed to pieces %s (%d untouched); warm-start retraining",
+            list(routing.touched),
+            self.num_partitions - len(routing.touched),
+        )
+        result = self.run(max_batches)
+        return UpdateReport(
+            touched=routing.touched,
+            untouched=tuple(
+                index
+                for index in range(self.num_partitions)
+                if index not in set(routing.touched)
+            ),
+            routing=routing,
+            delta_summary=delta.summary(),
+            result=result,
+            seconds=time.perf_counter() - start,
+            route_seconds=route_seconds,
+        )
 
     # ------------------------------------------------------------------ merge
     def _working_index(self) -> dict[ElementKind, tuple[dict[str, int], dict[str, int]]]:

@@ -145,6 +145,18 @@ class AlignedKGPair:
         self.valid_entity_pairs = shuffled[n_train : n_train + n_valid]
         self.test_entity_pairs = shuffled[n_train + n_valid :]
 
+    # ----------------------------------------------------------------- updates
+    def apply_delta(self, delta) -> "AlignedKGPair":
+        """Pure update: return a new pair with ``delta`` applied; ``self`` is untouched.
+
+        ``delta`` is a :class:`repro.updates.KGDelta`.  Vocabulary is
+        append-only, so every existing integer id stays valid in the new
+        pair — see :mod:`repro.updates.delta` for the full semantics.
+        """
+        from repro.updates.delta import apply_delta_to_pair  # circular at module level
+
+        return apply_delta_to_pair(self, delta)
+
     def dangling_entities_kg1(self) -> set[str]:
         """KG1 entities without a gold counterpart in KG2."""
         matched = {a for a, _ in self.entity_alignment.pairs}

@@ -46,6 +46,7 @@ backends without touching any config.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import math
 import os
@@ -219,6 +220,52 @@ class KGPairPartition:
             "rho_satisfied_fraction": round(self.rho_satisfied_fraction, 4),
             "pieces": [p.summary() for p in self.pieces],
         }
+
+    # -------------------------------------------------------------- membership
+    def membership(self) -> tuple[dict[str, int], dict[str, int]]:
+        """``entity name → piece index`` maps for both sides (cached).
+
+        This is the routing surface for :func:`repro.updates.route_delta`:
+        which piece owns an entity is exactly which piece's sub-KG contains
+        it.  Pieces never share entities, so the maps are well defined.
+        The cache is invalidated by :meth:`invalidate_membership` whenever a
+        piece's pair is replaced (incremental updates do this).
+        """
+        cached = getattr(self, "_membership", None)
+        if cached is None:
+            side_1: dict[str, int] = {}
+            side_2: dict[str, int] = {}
+            for piece in self.pieces:
+                for name in piece.pair.kg1.entities:
+                    side_1[name] = piece.index
+                for name in piece.pair.kg2.entities:
+                    side_2[name] = piece.index
+            cached = (side_1, side_2)
+            self._membership = cached
+        return cached
+
+    def invalidate_membership(self) -> None:
+        self._membership = None
+
+    def membership_digest(self) -> str:
+        """Order-sensitive digest of every piece's entity membership.
+
+        Persisted in campaign manifests and used to detect when a saved
+        campaign's pieces no longer describe the partition that would be
+        (or was incrementally) built — the guard behind both checkpoint
+        compatibility checks and delta routing.
+        """
+        digest = hashlib.sha256()
+        for piece in self.pieces:
+            digest.update(b"\x00piece\x00")
+            for name in piece.pair.kg1.entities:
+                digest.update(name.encode("utf-8"))
+                digest.update(b"\x00")
+            digest.update(b"\x00side\x00")
+            for name in piece.pair.kg2.entities:
+                digest.update(name.encode("utf-8"))
+                digest.update(b"\x00")
+        return digest.hexdigest()
 
 
 # ------------------------------------------------------------------ anchors

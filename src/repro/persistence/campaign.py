@@ -27,7 +27,6 @@ inside ``partition_config``, so resumed runs re-use the same backend.
 
 from __future__ import annotations
 
-import hashlib
 import io
 import json
 import os
@@ -68,20 +67,30 @@ def _piece_dirname(index: int, generation: int) -> str:
 def _membership_digest(campaign: "PartitionedCampaign") -> str:
     """SHA-256 over every piece's entity membership (both KG sides, in order).
 
-    Partitioning is recomputed on load (it is a pure function of the dataset
-    and partition config), so any future change to the partitioner's
-    assignment — even one preserving the piece *count* — must be caught, or
-    restored checkpoints would silently pair with the wrong sub-pairs.
+    For classic campaigns, partitioning is recomputed on load (it is a pure
+    function of the dataset and partition config), so any change to the
+    partitioner's assignment — even one preserving the piece *count* — must
+    be caught, or restored checkpoints would silently pair with the wrong
+    sub-pairs.  For incremental campaigns (pieces evolved by deltas) the
+    digest instead guards the integrity of the restored pieces themselves.
+    The hashing lives on :meth:`KGPairPartition.membership_digest` — the
+    same membership surface delta routing reads.
     """
-    digest = hashlib.sha256()
-    for piece in campaign.partition.pieces:
-        digest.update(b"\x00piece\x00")
-        for name in piece.pair.kg1.entities:
-            digest.update(name.encode("utf-8") + b"\x00")
-        digest.update(b"\x00side\x00")
-        for name in piece.pair.kg2.entities:
-            digest.update(name.encode("utf-8") + b"\x00")
-    return digest.hexdigest()
+    return campaign.partition.membership_digest()
+
+
+def _pending_dataset_filename(index: int, generation: int) -> str:
+    return f"pending_{index:04d}_g{generation}.npz"
+
+
+def _piece_ids(names, index_map: dict[str, int]) -> np.ndarray:
+    try:
+        return np.array([index_map[name] for name in names], dtype=np.int64)
+    except KeyError as exc:
+        raise CheckpointError(
+            f"incremental campaign piece names element {exc.args[0]!r} that is "
+            "not in the saved dataset — the checkpoint is inconsistent"
+        ) from exc
 
 
 def _read_manifest(directory: Path) -> dict | None:
@@ -116,11 +125,26 @@ def save_campaign(path: str | os.PathLike, campaign: "PartitionedCampaign") -> P
     payload = buffer.getvalue()
     _atomic_write_bytes(directory / CAMPAIGN_DATASET_FILE, payload)
 
+    incremental = bool(getattr(campaign, "incremental", False))
     pieces = []
     for index in range(campaign.num_partitions):
         pipeline = campaign.pipelines[index]
         if pipeline is None:
-            pieces.append({"index": index, "status": "pending"})
+            entry = {"index": index, "status": "pending"}
+            if incremental:
+                # an incrementally-evolved piece pair cannot be rebuilt by
+                # re-partitioning the dataset, so a pending piece must carry
+                # its own pair (saved pieces embed theirs in the checkpoint)
+                piece_arrays: dict[str, np.ndarray] = {}
+                pair_to_arrays(
+                    campaign.partition.pieces[index].pair, "dataset", piece_arrays
+                )
+                piece_buffer = io.BytesIO()
+                np.savez(piece_buffer, **piece_arrays)
+                filename = _pending_dataset_filename(index, generation)
+                _atomic_write_bytes(directory / filename, piece_buffer.getvalue())
+                entry["dataset"] = filename
+            pieces.append(entry)
             continue
         dirname = _piece_dirname(index, generation)
         save_checkpoint(directory / dirname, pipeline, loop=campaign.loops[index])
@@ -128,6 +152,7 @@ def save_campaign(path: str | os.PathLike, campaign: "PartitionedCampaign") -> P
 
     manifest = {
         "generation": generation,
+        "incremental": incremental,
         "membership_sha256": _membership_digest(campaign),
         "format_version": CAMPAIGN_FORMAT_VERSION,
         "kind": "campaign-checkpoint",
@@ -156,6 +181,10 @@ def save_campaign(path: str | os.PathLike, campaign: "PartitionedCampaign") -> P
     for stale in directory.glob("partition_*"):
         if stale.is_dir() and stale.name not in current:
             shutil.rmtree(stale, ignore_errors=True)
+    current_datasets = {p["dataset"] for p in pieces if p.get("dataset")}
+    for stale_file in directory.glob("pending_*.npz"):
+        if stale_file.name not in current_datasets:
+            stale_file.unlink(missing_ok=True)
     logger.info(
         "campaign checkpoint written to %s (%d pieces, %d saved, generation %d)",
         directory,
@@ -212,6 +241,66 @@ def load_campaign(path: str | os.PathLike) -> "PartitionedCampaign":
         if manifest.get("active_config") is not None
         else None
     )
+    incremental = bool(manifest.get("incremental", False))
+    restored: dict[int, tuple] = {}
+    partition_state = None
+    if incremental:
+        # Incremental campaigns cannot be re-partitioned: their piece pairs
+        # were evolved by deltas.  Each saved piece's pair is embedded
+        # (bit-exactly) in its own checkpoint; pending pieces carry theirs
+        # as a sidecar npz.  The local→global id maps are recomputed from
+        # names — valid because delta application keeps every vocabulary
+        # append-only on both the global and the piece pairs.
+        from repro.kg.partition import KGPairPartition, PartitionPiece
+
+        pieces_state = []
+        for piece in sorted(manifest["pieces"], key=lambda p: int(p["index"])):
+            index = int(piece["index"])
+            if piece["status"] == "saved":
+                checkpoint = load_checkpoint(directory / piece["directory"])
+                if checkpoint.has_loop:
+                    loop = restore_loop(checkpoint)
+                    restored[index] = (loop.daakg, loop)
+                else:
+                    restored[index] = (restore_pipeline(checkpoint), None)
+                piece_pair = restored[index][0].dataset
+            elif piece.get("dataset"):
+                piece_payload = (directory / piece["dataset"]).read_bytes()
+                with np.load(io.BytesIO(piece_payload), allow_pickle=False) as npz:
+                    piece_arrays = {key: npz[key] for key in npz.files}
+                piece_pair = pair_from_arrays("dataset", piece_arrays)
+            else:
+                raise CheckpointError(
+                    f"incremental campaign piece {index} is pending but has no "
+                    "saved dataset — the checkpoint predates its last update"
+                )
+            if int(manifest["num_partitions"]) == 1:
+                piece_pair = pair  # identity piece: bit-exact monolithic contract
+            pieces_state.append(
+                PartitionPiece(
+                    index=index,
+                    pair=piece_pair,
+                    entity_ids_1=_piece_ids(piece_pair.kg1.entities, pair.kg1.entity_index),
+                    entity_ids_2=_piece_ids(piece_pair.kg2.entities, pair.kg2.entity_index),
+                    relation_ids_1=_piece_ids(
+                        piece_pair.kg1.relations, pair.kg1.relation_index
+                    ),
+                    relation_ids_2=_piece_ids(
+                        piece_pair.kg2.relations, pair.kg2.relation_index
+                    ),
+                    class_ids_1=_piece_ids(piece_pair.kg1.classes, pair.kg1.class_index),
+                    class_ids_2=_piece_ids(piece_pair.kg2.classes, pair.kg2.class_index),
+                )
+            )
+        summary = manifest.get("partition_summary", {})
+        partition_state = KGPairPartition(
+            source=pair,
+            config=partition_config,
+            pieces=pieces_state,
+            cut_weight_fraction=float(summary.get("cut_weight_fraction", 0.0)),
+            rho_satisfied_fraction=float(summary.get("rho_satisfied_fraction", 1.0)),
+        )
+
     campaign = PartitionedCampaign(
         pair,
         config,
@@ -219,6 +308,7 @@ def load_campaign(path: str | os.PathLike) -> "PartitionedCampaign":
         active_config=active_config,
         partition=partition_config,
         resolve_env=False,
+        partition_state=partition_state,
     )
     if campaign.num_partitions != int(manifest["num_partitions"]):
         raise CheckpointError(
@@ -234,6 +324,12 @@ def load_campaign(path: str | os.PathLike) -> "PartitionedCampaign":
             "checkpoint, so the saved per-partition states cannot be safely "
             "reattached"
         )
+
+    if incremental:
+        for index, (pipeline, loop) in restored.items():
+            campaign.pipelines[index] = pipeline
+            campaign.loops[index] = loop
+        return campaign
 
     for piece in manifest["pieces"]:
         index = int(piece["index"])

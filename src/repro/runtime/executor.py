@@ -129,6 +129,11 @@ class PieceSpec:
     max_batches: int | None = None
     dataset_arrays: dict[str, np.ndarray] | None = None
     checkpoint_dir: str | None = None
+    # warm start (incremental updates): a checkpoint of the piece's pipeline
+    # from *before* its pair changed.  The runner builds a fresh pipeline
+    # from ``dataset_arrays`` and transplants every compatible parameter
+    # from this checkpoint by vocabulary name before fitting.
+    warm_start_dir: str | None = None
     # observability opt-in: the campaign stamps ``obs.enabled()`` here, so a
     # worker process (which does not share the parent's in-process flag)
     # knows to collect a piece-scoped metrics/trace state and serialise it
@@ -140,6 +145,11 @@ class PieceSpec:
             raise ValueError(
                 "a piece spec carries exactly one of dataset_arrays "
                 "(fresh piece) and checkpoint_dir (resumed piece)"
+            )
+        if self.warm_start_dir is not None and self.dataset_arrays is None:
+            raise ValueError(
+                "warm_start_dir requires dataset_arrays (a warm start builds "
+                "a fresh pipeline on the updated pair, then transplants)"
             )
 
 
@@ -189,6 +199,14 @@ def _materialize_piece(spec: PieceSpec) -> "tuple[DAAKG, ActiveLearningLoop]":
     else:
         pair = pair_from_arrays("dataset", spec.dataset_arrays)
         pipeline = DAAKG(pair, DAAKGConfig.from_json(spec.config_json))
+        if spec.warm_start_dir is not None:
+            from repro.updates.warm_start import warm_start_pipeline
+
+            counts = warm_start_pipeline(pipeline, load_checkpoint(spec.warm_start_dir))
+            logger.info(
+                "piece %d warm-started: %d copied, %d row-mapped, %d fresh",
+                spec.index, counts["copied"], counts["row_mapped"], counts["fresh"],
+            )
     active_config = (
         config_from_dict(ActiveLearningConfig, spec.active_config)
         if spec.active_config is not None

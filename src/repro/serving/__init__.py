@@ -12,8 +12,12 @@ a bounded admission queue with typed load-shedding
 pool fanning read-only snapshot queries out without a global lock — the
 layer that turns single-caller micro-batching into a measured saturation
 curve under open-loop load (``benchmarks/bench_serving_throughput.py``).
+
+:func:`serve` is the unified entry point: hand it a pipeline, a campaign, a
+snapshot or a checkpoint path and get back a service (or a started frontend).
 """
 
+from repro.serving.entry import serve
 from repro.serving.frontend import (
     BackpressureError,
     FrontendConfig,
@@ -40,4 +44,5 @@ __all__ = [
     "ServingSnapshot",
     "Ticket",
     "resolve_frontend_config",
+    "serve",
 ]

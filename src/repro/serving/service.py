@@ -36,7 +36,15 @@ Design points:
   as one new row/column — an ``O(n·d)`` update instead of the ``O(n₁·n₂·d)``
   full similarity recompute.  Folded-in columns carry the embedding channel
   only (no structural propagation), matching how a cold entity would score
-  before the next full training round.
+  before the next full training round.  Merged campaign snapshots fold in
+  too: each piece's frozen model travels with the snapshot as a
+  :class:`_PieceFoldContext`, the new entity is optimised against the single
+  piece that owns all of its neighbours, and its similarity row/column is
+  scattered into the global merged view (zero outside the owning piece —
+  exactly the cut semantics of the partitioner).  The preferred ingestion
+  surface is :meth:`AlignmentService.apply_delta` on a pure-growth
+  :class:`~repro.updates.delta.KGDelta`; ``fold_in(name, triples, side)`` is
+  a deprecated single-entity wrapper around it.
 """
 
 from __future__ import annotations
@@ -45,8 +53,10 @@ import itertools
 import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -63,6 +73,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle with core
     from repro.core.daakg import DAAKG
     from repro.embedding.base import KGEmbeddingModel
     from repro.serving.frontend import ServingFrontend
+    from repro.updates.delta import KGDelta
 
 logger = get_logger(__name__)
 
@@ -76,6 +87,36 @@ class ServingError(RuntimeError):
 # its own snapshot/landmark counters), and a colliding token would let the
 # LRU cache serve one pipeline's results for another after a hot-swap.
 _TOKEN_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True, eq=False)
+class _PieceFoldContext:
+    """One campaign piece's frozen fold-in state inside a merged snapshot.
+
+    Carries exactly what a single-pipeline snapshot carries for fold-in —
+    the piece's working vocabularies, output-space matrices and frozen
+    models — plus the local→global id maps (``rows_global``/``cols_global``)
+    that place the piece's rows and columns inside the merged similarity
+    view.  Immutable like the snapshot itself: a fold-in builds a *replaced*
+    context with the new entity appended, never mutates one in place.
+    """
+
+    index: int
+    entity_index_1: dict[str, int]
+    entity_index_2: dict[str, int]
+    relation_index_1: dict[str, int]
+    relation_index_2: dict[str, int]
+    map_entity: np.ndarray
+    entity_out_1: np.ndarray
+    entity_out_2: np.ndarray
+    relation_out_1: np.ndarray
+    relation_out_2: np.ndarray
+    norm_mapped_1: np.ndarray  # unit rows of entity_out_1 @ map_entity
+    norm_out_2: np.ndarray  # unit rows of entity_out_2
+    model_1: "KGEmbeddingModel"
+    model_2: "KGEmbeddingModel"
+    rows_global: np.ndarray  # global merged row id of each local side-1 row
+    cols_global: np.ndarray  # global merged col id of each local side-2 row
 
 
 @dataclass(frozen=True)
@@ -101,10 +142,15 @@ class ServingSnapshot:
     model_2: "KGEmbeddingModel"
     calibrator: AlignmentCalibrator
     fold_count: int = 0
-    # Merged campaign snapshots span several per-partition embedding spaces;
-    # there is no single frozen model a new entity could be optimised
-    # against, so fold-in is refused instead of silently computing garbage.
+    # False only for degraded snapshots that genuinely carry no frozen model
+    # state to optimise a new entity against (neither per-side models nor
+    # per-piece fold contexts) — fold-in is refused instead of silently
+    # computing garbage.  Pipeline snapshots carry ``model_1``/``model_2``;
+    # merged campaign snapshots carry one ``_PieceFoldContext`` per piece.
     fold_in_supported: bool = True
+    # Per-piece fold contexts of a merged campaign snapshot; ``None`` for
+    # single-pipeline snapshots (which fold against ``model_1``/``model_2``).
+    pieces: "tuple[_PieceFoldContext, ...] | None" = None
 
     @classmethod
     def from_pipeline(cls, daakg: "DAAKG", token: str | None = None) -> "ServingSnapshot":
@@ -149,11 +195,12 @@ class ServingSnapshot:
 
         The snapshot serves ``top_k_alignments`` / ``score_pairs`` /
         ``pair_probabilities`` from the merged streamed views over the
-        original pair's vocabularies.  Fold-in is not supported (each
-        partition trained its own embedding space; see
-        ``fold_in_supported``) — a hot-swap to a retrained campaign is the
-        way to absorb new entities.  A campaign with unfinished pieces
-        (never run, or pieces that failed on their executor) raises
+        original pair's vocabularies.  Fold-in is supported through the
+        per-piece fold contexts (``pieces``): a new entity is optimised
+        against the frozen model of the single piece that owns all of its
+        neighbours and scattered into the merged view at that piece's
+        global ids.  A campaign with unfinished pieces (never run, or
+        pieces that failed on their executor) raises
         ``CampaignExecutionError`` here instead of serving a partial merge;
         ``campaign.run()`` re-executes exactly the unfinished pieces.
         """
@@ -167,6 +214,43 @@ class ServingSnapshot:
             )
         else:
             token = f"{token}-merged"
+        contexts = []
+        for index in range(campaign.num_partitions):
+            model = campaign.pipeline(index).model
+            snap = model.similarity.snapshot
+            entity_out_1 = snap.entity_matrix_1.copy()
+            entity_out_2 = snap.entity_matrix_2.copy()
+            map_entity = model.map_entity.data.copy()
+            contexts.append(
+                _PieceFoldContext(
+                    index=index,
+                    entity_index_1=dict(model.kg1.entity_index),
+                    entity_index_2=dict(model.kg2.entity_index),
+                    relation_index_1=dict(model.kg1.relation_index),
+                    relation_index_2=dict(model.kg2.relation_index),
+                    map_entity=map_entity,
+                    entity_out_1=entity_out_1,
+                    entity_out_2=entity_out_2,
+                    relation_out_1=snap.relation_matrix_1.copy(),
+                    relation_out_2=snap.relation_matrix_2.copy(),
+                    norm_mapped_1=l2_normalize(entity_out_1 @ map_entity),
+                    norm_out_2=l2_normalize(entity_out_2),
+                    model_1=model.model1,
+                    model_2=model.model2,
+                    # piece working names are a subset of the global working
+                    # names (augmentation only appends), so name lookup is the
+                    # robust local→global map even across inverse-relation and
+                    # class-pseudo-entity augmentation
+                    rows_global=np.array(
+                        [kg1.entity_index[name] for name in model.kg1.entities],
+                        dtype=np.int64,
+                    ),
+                    cols_global=np.array(
+                        [kg2.entity_index[name] for name in model.kg2.entities],
+                        dtype=np.int64,
+                    ),
+                )
+            )
         empty = np.empty((0, 0))
         return cls(
             token=token,
@@ -187,8 +271,45 @@ class ServingSnapshot:
             model_1=None,
             model_2=None,
             calibrator=AlignmentCalibrator(campaign.config.calibration),
-            fold_in_supported=False,
+            pieces=tuple(contexts),
         )
+
+
+def _snapshot_from_source(
+    source: "ServingSnapshot | DAAKG | PartitionedCampaign | str | os.PathLike",
+) -> ServingSnapshot:
+    """Resolve any serving source to one frozen :class:`ServingSnapshot`.
+
+    The single dispatch point behind :func:`repro.serving.serve`, the
+    ``AlignmentService.from_*`` constructors and :meth:`AlignmentService.hot_swap`:
+
+    * a :class:`ServingSnapshot` passes through unchanged,
+    * a fitted :class:`~repro.core.daakg.DAAKG` freezes via ``from_pipeline``,
+    * a :class:`~repro.active.campaign.PartitionedCampaign` freezes its
+      merged state via ``from_campaign``,
+    * a path is a saved campaign directory (recognised by its manifest file)
+      or a pipeline checkpoint — checkpoint tokens are content hashes, so
+      cached results can never leak across checkpoints.
+    """
+    from repro.active.campaign import PartitionedCampaign  # circular at module level
+    from repro.core.daakg import DAAKG  # circular at module level
+
+    if isinstance(source, ServingSnapshot):
+        return source
+    if isinstance(source, PartitionedCampaign):
+        return ServingSnapshot.from_campaign(source)
+    if isinstance(source, DAAKG):
+        return ServingSnapshot.from_pipeline(source)
+    from repro.persistence.campaign import CAMPAIGN_MANIFEST_FILE
+
+    path = Path(os.fspath(source))
+    if (path / CAMPAIGN_MANIFEST_FILE).exists():
+        return ServingSnapshot.from_campaign(PartitionedCampaign.load(str(path)))
+    from repro.persistence import load_checkpoint, restore_pipeline
+
+    checkpoint = load_checkpoint(path)
+    token = "ckpt-" + checkpoint.manifest["arrays"]["sha256"][:16]
+    return ServingSnapshot.from_pipeline(restore_pipeline(checkpoint), token=token)
 
 
 @dataclass
@@ -315,29 +436,30 @@ class AlignmentService:
         self._fold_counter = self.obs.counter("service.fold_ins.total")
 
     # ------------------------------------------------------------ constructors
+    #
+    # All three are thin delegating aliases of ``_snapshot_from_source`` —
+    # :func:`repro.serving.serve` is the unified entry point; these stay for
+    # callers that know their source kind and want the narrower signature.
     @classmethod
     def from_pipeline(cls, daakg: "DAAKG", **kwargs) -> "AlignmentService":
         """Serve directly from a fitted in-memory pipeline."""
-        return cls(ServingSnapshot.from_pipeline(daakg), **kwargs)
+        return cls(_snapshot_from_source(daakg), **kwargs)
 
     @classmethod
     def from_campaign(cls, campaign, **kwargs) -> "AlignmentService":
         """Serve a partition-parallel campaign's merged similarity state."""
-        return cls(ServingSnapshot.from_campaign(campaign), **kwargs)
+        return cls(_snapshot_from_source(campaign), **kwargs)
 
     @classmethod
     def from_checkpoint(cls, path: str | os.PathLike, **kwargs) -> "AlignmentService":
-        """Load a checkpoint written by ``DAAKG.save`` and serve its snapshot.
+        """Serve a checkpoint: ``DAAKG.save`` output or a saved campaign dir.
 
-        The snapshot's state token is the checkpoint's content hash, so
-        results cached against one checkpoint can never leak into another.
+        A pipeline checkpoint's state token is its content hash, so results
+        cached against one checkpoint can never leak into another; a campaign
+        directory (recognised by its manifest) is loaded and its merged
+        state served.
         """
-        from repro.persistence import load_checkpoint, restore_pipeline
-
-        checkpoint = load_checkpoint(path)
-        daakg = restore_pipeline(checkpoint)
-        token = "ckpt-" + checkpoint.manifest["arrays"]["sha256"][:16]
-        return cls(ServingSnapshot.from_pipeline(daakg, token=token), **kwargs)
+        return cls(_snapshot_from_source(path), **kwargs)
 
     # ----------------------------------------------------------------- lookups
     @property
@@ -544,30 +666,23 @@ class AlignmentService:
             ticket.ready = True
 
     # -------------------------------------------------------------- hot swap
-    def hot_swap(self, source: "str | os.PathLike | DAAKG | PartitionedCampaign") -> str:
+    def hot_swap(
+        self,
+        source: "str | os.PathLike | DAAKG | PartitionedCampaign | ServingSnapshot",
+    ) -> str:
         """Atomically replace the serving state with a newer snapshot.
 
-        ``source`` is a checkpoint directory, a fitted pipeline, or a
+        ``source`` is anything :func:`_snapshot_from_source` resolves: a
+        checkpoint or saved-campaign directory, a fitted pipeline, a
         partition-parallel campaign (whose *merged* similarity state is
-        served).  The new snapshot is fully built *before* the single
-        reference assignment, so concurrent readers observe either the old
-        or the new state, never a mixture; pending micro-batch tickets are
-        flushed against the old state first.  Returns the new state token.
+        served) or a prebuilt snapshot.  The new snapshot is fully built
+        *before* the single reference assignment, so concurrent readers
+        observe either the old or the new state, never a mixture; pending
+        micro-batch tickets are flushed against the old state first.
+        Returns the new state token.
         """
-        from repro.active.campaign import PartitionedCampaign  # circular at module level
-        from repro.core.daakg import DAAKG  # circular at module level
-
         self.flush()
-        if isinstance(source, PartitionedCampaign):
-            state = ServingSnapshot.from_campaign(source)
-        elif isinstance(source, DAAKG):
-            state = ServingSnapshot.from_pipeline(source)
-        else:
-            from repro.persistence import load_checkpoint, restore_pipeline
-
-            checkpoint = load_checkpoint(source)
-            token = "ckpt-" + checkpoint.manifest["arrays"]["sha256"][:16]
-            state = ServingSnapshot.from_pipeline(restore_pipeline(checkpoint), token=token)
+        state = _snapshot_from_source(source)
         with self._swap_lock:
             self._state = state
         self.stats.bump("swaps")
@@ -576,6 +691,74 @@ class AlignmentService:
         return state.token
 
     # --------------------------------------------------------------- fold-in
+    def apply_delta(
+        self, delta: "KGDelta", steps: int = 15, lr: float = 0.1
+    ) -> list[FoldInReport]:
+        """Absorb a pure-growth :class:`~repro.updates.delta.KGDelta`.
+
+        Serving can absorb *growth* only: added entities, each arriving with
+        the triples that place it.  Every added triple must involve at least
+        one added entity (triples between two added entities are folded with
+        the later one, when its partner already exists); each entity is
+        folded through the same gradient refinement as a single
+        :meth:`fold_in`, and all folds of one delta are applied under one
+        swap lock — a concurrent reader observes the delta atomically per
+        entity, never a half-written snapshot.
+
+        Everything else a delta can carry — triple removals, gold-link
+        additions or retractions, triples between *existing* entities —
+        changes rows that are already frozen in the snapshot; route those
+        through ``PartitionedCampaign.apply_update()`` and :meth:`hot_swap`
+        the retrained campaign instead.
+        """
+        if (
+            delta.removed_triples_1
+            or delta.removed_triples_2
+            or delta.added_gold_links
+            or delta.retracted_gold_links
+        ):
+            raise ServingError(
+                "serving fold-in only absorbs growth (new entities plus their "
+                "triples); triple removals and gold-link changes need a retrain "
+                "— use PartitionedCampaign.apply_update() then hot_swap()"
+            )
+        self._check_fold_in_supported()
+        reports: list[FoldInReport] = []
+        with self._swap_lock:
+            for side in (1, 2):
+                new_names = delta.added_entities_1 if side == 1 else delta.added_entities_2
+                side_triples = delta.added_triples_1 if side == 1 else delta.added_triples_2
+                order = {entity: i for i, entity in enumerate(new_names)}
+                buckets: dict[str, list[tuple[str, str, str]]] = {
+                    entity: [] for entity in new_names
+                }
+                for triple in side_triples:
+                    head, _, tail = triple
+                    owners = [endpoint for endpoint in (head, tail) if endpoint in order]
+                    if not owners:
+                        raise ServingError(
+                            f"added triple {triple!r} must connect an added entity: "
+                            f"it names existing side-{side} "
+                            "entities only; serving fold-in cannot update frozen "
+                            "rows — use PartitionedCampaign.apply_update() then "
+                            "hot_swap()"
+                        )
+                    # a triple between two added entities belongs to the later
+                    # one: by fold order its partner already exists
+                    owner = max(owners, key=order.__getitem__)
+                    buckets[owner].append(triple)
+                for entity in new_names:
+                    if not buckets[entity]:
+                        raise ServingError(
+                            f"added entity {entity!r} arrives with no side-{side} "
+                            "triples; fold-in needs at least one to place it"
+                        )
+                    start = time.perf_counter()
+                    reports.append(
+                        self._fold_in_locked(entity, buckets[entity], side, steps, lr, start)
+                    )
+        return reports
+
     def fold_in(
         self,
         name: str,
@@ -584,7 +767,13 @@ class AlignmentService:
         steps: int = 15,
         lr: float = 0.1,
     ) -> FoldInReport:
-        """Add a new entity to the serving state without a full recompute.
+        """Add one new entity to the serving state without a full recompute.
+
+        .. deprecated::
+            ``fold_in(name, triples, side)`` is a thin wrapper over a
+            single-entity delta; build a
+            :meth:`KGDelta.single_entity <repro.updates.delta.KGDelta.single_entity>`
+            (or any pure-growth delta) and call :meth:`apply_delta` instead.
 
         ``triples`` are ``(head, relation, tail)`` name triples in which
         ``name`` appears as head or tail and every other element already
@@ -595,22 +784,32 @@ class AlignmentService:
         matrix as one new column (``side=2``) or row (``side=1``), and the
         whole updated state replaces the old one atomically.
         """
+        warnings.warn(
+            "AlignmentService.fold_in(name, triples, side) is deprecated; build "
+            "a KGDelta (e.g. KGDelta.single_entity) and call apply_delta()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if side not in (1, 2):
             raise ValueError("side must be 1 or 2")
-        if not self._state.fold_in_supported:
-            raise ServingError(
-                "fold-in is not supported on a merged campaign snapshot "
-                "(partitions train independent embedding spaces); hot-swap a "
-                "retrained campaign instead"
-            )
+        self._check_fold_in_supported()
         if not triples:
             raise ServingError(f"fold-in of {name!r} needs at least one triple")
-        start = time.perf_counter()
-        # the swap lock spans the read-modify-write of the snapshot reference:
-        # a concurrent hot_swap or fold_in can neither be lost nor observed
-        # half-applied (queries keep reading whichever snapshot is current)
-        with self._swap_lock:
-            return self._fold_in_locked(name, triples, side, steps, lr, start)
+        from repro.updates.delta import KGDelta  # circular at module level
+
+        reports = self.apply_delta(
+            KGDelta.single_entity(name, triples, side=side), steps=steps, lr=lr
+        )
+        return reports[0]
+
+    def _check_fold_in_supported(self) -> None:
+        if not self._state.fold_in_supported:
+            raise ServingError(
+                "fold-in is not supported on this snapshot: it carries neither "
+                "frozen per-side models nor per-piece fold contexts to optimise "
+                "a new entity against; hot-swap a snapshot built from a "
+                "pipeline, campaign or checkpoint instead"
+            )
 
     def _fold_in_locked(
         self,
@@ -621,15 +820,154 @@ class AlignmentService:
         lr: float,
         start: float,
     ) -> FoldInReport:
+        # caller holds the swap lock: the read-modify-write of the snapshot
+        # reference can neither be lost nor observed half-applied (queries
+        # keep reading whichever snapshot is current)
         state = self._state
+        if state.pieces is not None:
+            new_state = self._fold_into_merged(state, name, triples, side, steps, lr)
+        else:
+            new_state = self._fold_into_pipeline(state, name, triples, side, steps, lr)
+        self._state = new_state
+        self.stats.bump("folds")
+        self._fold_counter.inc()
+        index = self.num_entities(side) - 1
+        report = FoldInReport(
+            name=name,
+            side=side,
+            index=index,
+            num_triples=len(triples),
+            seconds=time.perf_counter() - start,
+            token=new_state.token,
+        )
+        logger.info(
+            "folded in %s on side %d (%d triples, %.2f ms)",
+            name, side, len(triples), report.seconds * 1e3,
+        )
+        return report
+
+    def _fold_into_pipeline(
+        self,
+        state: ServingSnapshot,
+        name: str,
+        triples: Sequence[tuple[str, str, str]],
+        side: int,
+        steps: int,
+        lr: float,
+    ) -> ServingSnapshot:
         entity_index = state.entity_index_1 if side == 1 else state.entity_index_2
-        relation_index = state.relation_index_1 if side == 1 else state.relation_index_2
-        entity_out = state.entity_out_1 if side == 1 else state.entity_out_2
-        relation_out = state.relation_out_1 if side == 1 else state.relation_out_2
-        model = state.model_1 if side == 1 else state.model_2
         if name in entity_index:
             raise ServingError(f"entity {name!r} already exists on side {side}")
+        vector = self._solve_fold_vector(
+            name,
+            triples,
+            side,
+            entity_index=entity_index,
+            relation_index=state.relation_index_1 if side == 1 else state.relation_index_2,
+            entity_out=state.entity_out_1 if side == 1 else state.entity_out_2,
+            relation_out=state.relation_out_1 if side == 1 else state.relation_out_2,
+            model=state.model_1 if side == 1 else state.model_2,
+            steps=steps,
+            lr=lr,
+        )
+        return self._append_entity(state, side, name, vector)
 
+    def _fold_into_merged(
+        self,
+        state: ServingSnapshot,
+        name: str,
+        triples: Sequence[tuple[str, str, str]],
+        side: int,
+        steps: int,
+        lr: float,
+    ) -> ServingSnapshot:
+        """Fold ``name`` into the piece owning all of its neighbours.
+
+        Partitions train independent embedding spaces, so the new entity can
+        only be optimised inside one of them: the (first) piece whose
+        side-``side`` vocabulary contains every neighbour entity and every
+        relation of ``triples``.  Its similarity row/column is scattered into
+        the merged view at the piece's global ids and left zero elsewhere —
+        the same no-cross-piece-evidence semantics the partition cut gives
+        trained entities.  A delta whose neighbours span several pieces has
+        no such owner and must go through the campaign retrain path.
+        """
+        global_index = state.entity_index_1 if side == 1 else state.entity_index_2
+        if name in global_index:
+            raise ServingError(f"entity {name!r} already exists on side {side}")
+        neighbours: set[str] = set()
+        relations: set[str] = set()
+        for head, relation, tail in triples:
+            relations.add(relation)
+            if head == name and tail != name:
+                neighbours.add(tail)
+            elif tail == name and head != name:
+                neighbours.add(head)
+            else:
+                raise ServingError(
+                    f"fold-in triple {(head, relation, tail)!r} must connect "
+                    f"{name!r} to an existing side-{side} entity"
+                )
+        context = None
+        position = -1
+        for candidate_position, candidate in enumerate(state.pieces):
+            entity_index = candidate.entity_index_1 if side == 1 else candidate.entity_index_2
+            relation_index = (
+                candidate.relation_index_1 if side == 1 else candidate.relation_index_2
+            )
+            if all(n in entity_index for n in neighbours) and all(
+                r in relation_index for r in relations
+            ):
+                context = candidate
+                position = candidate_position
+                break
+        if context is None:
+            for neighbour in neighbours:
+                if neighbour not in global_index:
+                    raise ServingError(f"unknown KG{side} entity {neighbour!r}")
+            global_relations = (
+                state.relation_index_1 if side == 1 else state.relation_index_2
+            )
+            for relation in relations:
+                if relation not in global_relations:
+                    raise ServingError(f"unknown side-{side} relation {relation!r}")
+            raise ServingError(
+                f"fold-in of {name!r} spans multiple partitions (no single piece "
+                "owns all of its neighbours and relations); apply the delta "
+                "through PartitionedCampaign.apply_update() and hot_swap() the "
+                "retrained campaign instead"
+            )
+        vector = self._solve_fold_vector(
+            name,
+            triples,
+            side,
+            entity_index=context.entity_index_1 if side == 1 else context.entity_index_2,
+            relation_index=(
+                context.relation_index_1 if side == 1 else context.relation_index_2
+            ),
+            entity_out=context.entity_out_1 if side == 1 else context.entity_out_2,
+            relation_out=context.relation_out_1 if side == 1 else context.relation_out_2,
+            model=context.model_1 if side == 1 else context.model_2,
+            steps=steps,
+            lr=lr,
+        )
+        return self._append_entity_merged(state, position, side, name, vector)
+
+    @staticmethod
+    def _solve_fold_vector(
+        name: str,
+        triples: Sequence[tuple[str, str, str]],
+        side: int,
+        *,
+        entity_index: dict[str, int],
+        relation_index: dict[str, int],
+        entity_out: np.ndarray,
+        relation_out: np.ndarray,
+        model: "KGEmbeddingModel",
+        steps: int,
+        lr: float,
+    ) -> np.ndarray:
+        """The new entity's output-space embedding, refined against ``model``."""
         head_role: list[tuple[np.ndarray, np.ndarray]] = []  # (r_vec, tail_vec)
         tail_role: list[tuple[np.ndarray, np.ndarray]] = []  # (head_vec, r_vec)
         estimates: list[np.ndarray] = []
@@ -669,25 +1007,7 @@ class AlignmentService:
             vector -= delta
             if float(np.linalg.norm(delta)) < 1e-6 * max(1.0, float(np.linalg.norm(vector))):
                 break  # converged — translational models often start at the optimum
-
-        new_state = self._append_entity(state, side, name, vector)
-        self._state = new_state
-        self.stats.bump("folds")
-        self._fold_counter.inc()
-        index = self.num_entities(side) - 1
-        report = FoldInReport(
-            name=name,
-            side=side,
-            index=index,
-            num_triples=len(triples),
-            seconds=time.perf_counter() - start,
-            token=new_state.token,
-        )
-        logger.info(
-            "folded in %s on side %d (%d triples, %.2f ms)",
-            name, side, len(triples), report.seconds * 1e3,
-        )
-        return report
+        return vector
 
     @staticmethod
     def _append_entity(
@@ -733,6 +1053,84 @@ class AlignmentService:
             entity_index_1=index,
             entity_out_1=np.concatenate([state.entity_out_1, vector[None, :]]),
             norm_mapped_1=np.concatenate([state.norm_mapped_1, mapped_unit[None, :]]),
+        )
+
+    @staticmethod
+    def _append_entity_merged(
+        state: ServingSnapshot,
+        position: int,
+        side: int,
+        name: str,
+        vector: np.ndarray,
+    ) -> ServingSnapshot:
+        """A new merged snapshot with ``vector`` folded into one piece.
+
+        The appended similarity row/column is non-zero only at the owning
+        piece's global ids (embedding channel of that piece's frozen space);
+        every other piece contributes zero — a folded entity has no
+        cross-piece evidence, exactly like a trained entity across the cut.
+        Both the global snapshot and the owning piece's context grow by one
+        entity, so later folds can neighbour on this one.
+        """
+        similarity = dict(state.similarity)
+        entity_view = similarity[ElementKind.ENTITY]
+        token = f"{state.token}+fold{state.fold_count + 1}"
+        pieces = list(state.pieces)
+        context = pieces[position]
+        if side == 2:
+            unit = l2_normalize(vector)
+            column = np.zeros(entity_view.num_rows)
+            column[context.rows_global] = context.norm_mapped_1 @ unit
+            similarity[ElementKind.ENTITY] = entity_view.append_col(column)
+            global_id = len(state.entity_names_2)
+            index = dict(state.entity_index_2)
+            index[name] = global_id
+            local_index = dict(context.entity_index_2)
+            local_index[name] = context.entity_out_2.shape[0]
+            pieces[position] = replace(
+                context,
+                entity_index_2=local_index,
+                entity_out_2=np.concatenate([context.entity_out_2, vector[None, :]]),
+                norm_out_2=np.concatenate([context.norm_out_2, unit[None, :]]),
+                cols_global=np.concatenate(
+                    [context.cols_global, np.array([global_id], dtype=np.int64)]
+                ),
+            )
+            return replace(
+                state,
+                token=token,
+                fold_count=state.fold_count + 1,
+                similarity=similarity,
+                entity_names_2=state.entity_names_2 + (name,),
+                entity_index_2=index,
+                pieces=tuple(pieces),
+            )
+        mapped_unit = l2_normalize(vector @ context.map_entity)
+        row = np.zeros(entity_view.num_cols)
+        row[context.cols_global] = context.norm_out_2 @ mapped_unit
+        similarity[ElementKind.ENTITY] = entity_view.append_row(row)
+        global_id = len(state.entity_names_1)
+        index = dict(state.entity_index_1)
+        index[name] = global_id
+        local_index = dict(context.entity_index_1)
+        local_index[name] = context.entity_out_1.shape[0]
+        pieces[position] = replace(
+            context,
+            entity_index_1=local_index,
+            entity_out_1=np.concatenate([context.entity_out_1, vector[None, :]]),
+            norm_mapped_1=np.concatenate([context.norm_mapped_1, mapped_unit[None, :]]),
+            rows_global=np.concatenate(
+                [context.rows_global, np.array([global_id], dtype=np.int64)]
+            ),
+        )
+        return replace(
+            state,
+            token=token,
+            fold_count=state.fold_count + 1,
+            similarity=similarity,
+            entity_names_1=state.entity_names_1 + (name,),
+            entity_index_1=index,
+            pieces=tuple(pieces),
         )
 
     # ------------------------------------------------------------------ cache

@@ -1,0 +1,24 @@
+"""repro.updates — incremental end-to-end KG updates.
+
+One immutable :class:`KGDelta` value flows through the whole pipeline:
+
+* ``pair.apply_delta(delta)`` — pure dataset update (append-only vocabulary),
+* :func:`route_delta` — restrict the delta to the campaign pieces it touches,
+* ``PartitionedCampaign.apply_update(delta)`` — warm-start retrain exactly
+  those pieces (:func:`warm_start_pipeline`) and re-merge,
+* ``AlignmentService.apply_delta(delta)`` — absorb pure-growth deltas
+  straight into a serving snapshot, merged campaign snapshots included.
+"""
+
+from repro.updates.delta import DeltaError, KGDelta, apply_delta_to_pair
+from repro.updates.routing import DeltaRouting, route_delta
+from repro.updates.warm_start import warm_start_pipeline
+
+__all__ = [
+    "DeltaError",
+    "DeltaRouting",
+    "KGDelta",
+    "apply_delta_to_pair",
+    "route_delta",
+    "warm_start_pipeline",
+]

@@ -1,0 +1,222 @@
+"""Delta routing: restrict a :class:`KGDelta` to the campaign pieces it touches.
+
+The partition membership (``entity name → piece index``, both sides — see
+:meth:`KGPairPartition.membership`) is the whole routing table: a delta
+touches a piece exactly when it names one of the piece's entities or assigns
+a new entity to it.  Routing produces, per touched piece, the *restriction*
+of the delta to that piece — the same semantics :func:`partition_pair` uses
+for triples and alignments:
+
+* an added/removed triple lands in a piece's delta only when **both**
+  endpoints live in that piece; a cross-piece triple touches both endpoint
+  pieces (their boundary evidence changed) but appears in neither sub-KG,
+  mirroring how partitioning cuts cross-piece edges;
+* an added gold link between entities of the same piece joins that piece's
+  alignment; a **cross-piece** gold link touches both pieces and joins
+  neither (the no-cut-match invariant is preserved by construction for new
+  entities: a new entity gold-linked to an existing one is *forced* into its
+  counterpart's piece);
+* new entities are assigned by neighbour vote over their added triples
+  (gold-link constraints win over votes), with up to three passes so chains
+  of new entities resolve, then deterministic round-robin for isolates —
+  the same discipline as the partitioner's dangling attachment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.partition import KGPairPartition
+from repro.updates.delta import DeltaError, KGDelta
+
+
+@dataclass(frozen=True)
+class DeltaRouting:
+    """Where a delta lands: touched pieces, per-piece restrictions, assignments."""
+
+    touched: tuple[int, ...]
+    piece_deltas: dict[int, KGDelta]
+    assignments_1: dict[str, int]
+    assignments_2: dict[str, int]
+
+    def summary(self) -> dict:
+        return {
+            "touched": list(self.touched),
+            "new_entities_1": dict(self.assignments_1),
+            "new_entities_2": dict(self.assignments_2),
+        }
+
+
+def _assign_new_entities(
+    partition: KGPairPartition,
+    delta: KGDelta,
+    member: tuple[dict[str, int], dict[str, int]],
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Deterministic piece assignment for every added entity, both sides."""
+    num = partition.num_partitions
+    new_1 = {name: position for position, name in enumerate(delta.added_entities_1)}
+    new_2 = {name: position for position, name in enumerate(delta.added_entities_2)}
+
+    # Units: a lone new entity, or a pair of new entities joined by a gold
+    # link (assigned jointly so the link is never cut).  A new entity linked
+    # to an *existing* entity is forced into the counterpart's piece.
+    forced: dict[tuple[int, str], int] = {}
+    partner: dict[tuple[int, str], tuple[int, str]] = {}
+    for a, b in delta.added_gold_links:
+        a_new, b_new = a in new_1, b in new_2
+        if a_new and b_new:
+            partner[(1, a)] = (2, b)
+            partner[(2, b)] = (1, a)
+        elif a_new:
+            if b not in member[1]:
+                raise DeltaError(f"gold link endpoint {b!r} is in no partition piece")
+            forced[(1, a)] = member[1][b]
+        elif b_new:
+            if a not in member[0]:
+                raise DeltaError(f"gold link endpoint {a!r} is in no partition piece")
+            forced[(2, b)] = member[0][a]
+
+    assigned: dict[tuple[int, str], int] = {}
+    for key, pid in forced.items():
+        assigned[key] = pid
+        mate = partner.get(key)
+        if mate is not None:
+            assigned[mate] = pid
+
+    def _votes(side: int, name: str) -> dict[int, int]:
+        votes: dict[int, int] = {}
+        triples = delta.triples(side)
+        side_member = member[side - 1]
+        side_new = new_1 if side == 1 else new_2
+        for head, _, tail in triples:
+            if name not in (head, tail):
+                continue
+            other = tail if head == name else head
+            if other == name:
+                continue
+            pid = side_member.get(other)
+            if pid is None and other in side_new:
+                pid = assigned.get((side, other))
+            if pid is not None:
+                votes[pid] = votes.get(pid, 0) + 1
+        return votes
+
+    pending = [(1, name) for name in delta.added_entities_1] + [
+        (2, name) for name in delta.added_entities_2
+    ]
+    pending = [key for key in pending if key not in assigned]
+    for _ in range(3):
+        if not pending:
+            break
+        still = []
+        for key in pending:
+            if key in assigned:
+                continue
+            side, name = key
+            votes = _votes(side, name)
+            mate = partner.get(key)
+            if mate is not None:
+                for pid, count in _votes(*mate).items():
+                    votes[pid] = votes.get(pid, 0) + count
+            if votes:
+                best = max(votes.values())
+                pid = min(p for p, count in votes.items() if count == best)
+                assigned[key] = pid
+                if mate is not None:
+                    assigned[mate] = pid
+            else:
+                still.append(key)
+        pending = [key for key in still if key not in assigned]
+    for position, key in enumerate(pending):
+        if key in assigned:
+            continue
+        pid = position % num
+        assigned[key] = pid
+        mate = partner.get(key)
+        if mate is not None:
+            assigned[mate] = pid
+
+    return (
+        {name: assigned[(1, name)] for name in delta.added_entities_1},
+        {name: assigned[(2, name)] for name in delta.added_entities_2},
+    )
+
+
+def route_delta(partition: KGPairPartition, delta: KGDelta) -> DeltaRouting:
+    """Split ``delta`` into per-piece restrictions and the touched-piece set."""
+    if not isinstance(delta, KGDelta):
+        raise DeltaError(f"expected a KGDelta, got {type(delta).__name__}")
+    if delta.is_empty:
+        return DeltaRouting(touched=(), piece_deltas={}, assignments_1={}, assignments_2={})
+    if partition.num_partitions == 1:
+        return DeltaRouting(
+            touched=(0,),
+            piece_deltas={0: delta},
+            assignments_1=dict.fromkeys(delta.added_entities_1, 0),
+            assignments_2=dict.fromkeys(delta.added_entities_2, 0),
+        )
+
+    member = partition.membership()
+    assignments_1, assignments_2 = _assign_new_entities(partition, delta, member)
+    assignments = (assignments_1, assignments_2)
+
+    def _pid(side: int, name: str) -> int:
+        pid = member[side - 1].get(name)
+        if pid is None:
+            pid = assignments[side - 1].get(name)
+        if pid is None:
+            raise DeltaError(f"delta names unknown KG{side} entity {name!r}")
+        return pid
+
+    touched: set[int] = set()
+    touched.update(assignments_1.values())
+    touched.update(assignments_2.values())
+
+    per_piece: dict[int, dict[str, list]] = {}
+
+    def _bucket(pid: int) -> dict[str, list]:
+        return per_piece.setdefault(
+            pid,
+            {field: [] for field in (
+                "added_entities_1", "added_entities_2",
+                "added_triples_1", "added_triples_2",
+                "removed_triples_1", "removed_triples_2",
+                "added_gold_links", "retracted_gold_links",
+            )},
+        )
+
+    for side, names in ((1, delta.added_entities_1), (2, delta.added_entities_2)):
+        for name in names:
+            _bucket(assignments[side - 1][name])[f"added_entities_{side}"].append(name)
+
+    for side in (1, 2):
+        for kind in ("added", "removed"):
+            for triple in getattr(delta, f"{kind}_triples_{side}"):
+                head_pid = _pid(side, triple[0])
+                tail_pid = _pid(side, triple[2])
+                touched.update((head_pid, tail_pid))
+                if head_pid == tail_pid:
+                    _bucket(head_pid)[f"{kind}_triples_{side}"].append(triple)
+
+    for a, b in delta.added_gold_links:
+        pid_a, pid_b = _pid(1, a), _pid(2, b)
+        touched.update((pid_a, pid_b))
+        if pid_a == pid_b:
+            _bucket(pid_a)["added_gold_links"].append((a, b))
+    for a, b in delta.retracted_gold_links:
+        pid_a, pid_b = _pid(1, a), _pid(2, b)
+        touched.update((pid_a, pid_b))
+        if pid_a == pid_b and (a, b) in partition.pieces[pid_a].pair.entity_alignment:
+            _bucket(pid_a)["retracted_gold_links"].append((a, b))
+
+    piece_deltas = {
+        pid: KGDelta(**{key: tuple(values) for key, values in bucket.items()})
+        for pid, bucket in per_piece.items()
+    }
+    piece_deltas = {pid: d for pid, d in piece_deltas.items() if not d.is_empty}
+    return DeltaRouting(
+        touched=tuple(sorted(touched)),
+        piece_deltas=piece_deltas,
+        assignments_1=assignments_1,
+        assignments_2=assignments_2,
+    )

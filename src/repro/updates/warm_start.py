@@ -1,0 +1,104 @@
+"""Warm-start transplant: seed a fresh pipeline from an old piece checkpoint.
+
+After a delta changes a campaign piece's sub-pair, the piece's checkpoint no
+longer restores (`load_state_dict` is strict and the vocabularies grew), but
+almost all of its learned state is still valid.  ``warm_start_pipeline``
+copies every compatible parameter from the old checkpoint into a freshly
+built pipeline on the *updated* pair:
+
+* same-shape parameters are copied outright (maps, biases, encoder weights,
+  and any vocabulary whose size the delta did not change);
+* vocabulary-sized parameters (first dimension = an entity/relation/class
+  vocabulary of the piece's **working** KGs) are transplanted *row by name*.
+  Name mapping — not prefix copying — is mandatory: the working space
+  appends inverse relations after the base relations
+  (:func:`augment_working_kgs`), so one new relation shifts every inverse
+  relation's index even though only vocabulary was appended.
+
+Rows for new names keep their fresh initialisation (drawn from the piece's
+deterministic RNG streams), and the RNG streams themselves are never
+touched — so the transplant is a pure function of (old checkpoint bytes,
+new piece pair, config).  That determinism is what makes an incremental
+campaign resumed from disk byte-identical to one that never stopped.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.persistence.checkpoint import Checkpoint
+from repro.persistence.codec import pair_from_arrays
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.daakg import DAAKG
+
+
+def _row_map(
+    key: str,
+    old_arr: np.ndarray,
+    new_arr: np.ndarray,
+    kgs_1: tuple,
+    kgs_2: tuple,
+) -> np.ndarray | None:
+    """Transplant ``old_arr`` rows into a copy of ``new_arr`` by vocabulary name."""
+    if old_arr.ndim != new_arr.ndim or old_arr.ndim < 1:
+        return None
+    if old_arr.shape[1:] != new_arr.shape[1:]:
+        return None
+    if key.startswith(("model1.", "class_scorer1.")):
+        old_kg, new_kg = kgs_1
+    elif key.startswith(("model2.", "class_scorer2.")):
+        old_kg, new_kg = kgs_2
+    else:
+        return None
+    vocabularies = (
+        (old_kg.entities, new_kg.entities, new_kg.entity_index),
+        (old_kg.relations, new_kg.relations, new_kg.relation_index),
+        (old_kg.classes, new_kg.classes, new_kg.class_index),
+    )
+    for old_names, new_names, new_index in vocabularies:
+        if len(old_names) != old_arr.shape[0] or len(new_names) != new_arr.shape[0]:
+            continue
+        targets = np.array([new_index.get(name, -1) for name in old_names], dtype=np.int64)
+        keep = targets >= 0
+        out = new_arr.copy()
+        out[targets[keep]] = old_arr[keep]
+        return out
+    return None
+
+
+def warm_start_pipeline(pipeline: "DAAKG", checkpoint: Checkpoint) -> dict[str, int]:
+    """Seed ``pipeline`` (fresh, unfitted, on the updated pair) from ``checkpoint``.
+
+    Returns transplant counts: ``copied`` (same shape), ``row_mapped``
+    (vocabulary-sized, mapped by name) and ``fresh`` (no compatible source —
+    the parameter keeps its fresh initialisation).
+    """
+    from repro.core.daakg import augment_working_kgs  # circular at module level
+
+    old_pair = pair_from_arrays("dataset", checkpoint.arrays)
+    old_kg1, old_kg2, _ = augment_working_kgs(old_pair, pipeline.config)
+    new_kg1, new_kg2 = pipeline.pair.kg1, pipeline.pair.kg2
+    old_model = checkpoint.section("model")
+
+    state = pipeline.model.state_dict()
+    counts = {"copied": 0, "row_mapped": 0, "fresh": 0}
+    for key, new_arr in state.items():
+        old_arr = old_model.get(key)
+        if old_arr is None:
+            counts["fresh"] += 1
+            continue
+        if old_arr.shape == new_arr.shape:
+            state[key] = old_arr.copy()
+            counts["copied"] += 1
+            continue
+        mapped = _row_map(key, old_arr, new_arr, (old_kg1, new_kg1), (old_kg2, new_kg2))
+        if mapped is None:
+            counts["fresh"] += 1
+        else:
+            state[key] = mapped
+            counts["row_mapped"] += 1
+    pipeline.model.load_state_dict(state, strict=True)
+    return counts

@@ -337,8 +337,12 @@ def test_serving_merged_state(multi_campaign):
         assert matrix[row, pair.kg2.entity_id(best_name)] == pytest.approx(best_value)
     scores = service.score_pairs([(uris[0], pair.kg2.entities[0])])
     assert scores[0] == pytest.approx(matrix[0, 0])
-    with pytest.raises(ServingError):
-        service.fold_in("brand-new", [("brand-new", "r", "x")])
+    # merged snapshots carry per-piece fold contexts and accept fold-in now;
+    # an unknown neighbour is still refused (through the deprecation shim)
+    assert service._state.fold_in_supported
+    with pytest.warns(DeprecationWarning, match="apply_delta"):
+        with pytest.raises(ServingError):
+            service.fold_in("brand-new", [("brand-new", "r", "no-such-entity")])
 
 
 def test_serving_hot_swap_campaign(multi_campaign, single_partition_campaign):
